@@ -1,0 +1,222 @@
+//! Characteristic Sets (CSet) — summary-based cardinality estimation
+//! (Neumann & Moerkotte, ICDE 2011), adapted from RDF triple stores to
+//! labeled undirected graphs as in the G-CARE benchmark.
+//!
+//! Summary: for every data vertex, its *characteristic set* is the sorted
+//! multiset of neighbor labels. The summary aggregates, per (vertex label,
+//! characteristic set), how many vertices exhibit it.
+//!
+//! Estimation: the query is decomposed into stars (one per query vertex).
+//! A star's estimate sums, over all data characteristic sets that subsume
+//! the star's neighbor-label multiset, the number of ordered ways to embed
+//! the star's leaves (a falling-factorial product over label
+//! multiplicities). Star estimates are combined under the classic
+//! independence assumption — divide by the per-edge estimates so every
+//! query edge is counted once:
+//!
+//! ```text
+//! ĉ(q) = Π_u star(u) / Π_{e ∈ E(q)} edge(e)
+//! ```
+//!
+//! which is exact on label-homogeneous trees and underestimates on cyclic
+//! queries — reproducing the paper's observation that summary-based
+//! methods underestimate because of their independence assumptions.
+
+use crate::CountEstimator;
+use neursc_graph::types::Label;
+use neursc_graph::Graph;
+use std::collections::HashMap;
+
+/// A characteristic set: (vertex label, sorted neighbor-label histogram).
+type CharSet = (Label, Vec<(Label, u32)>);
+
+/// The CSet estimator.
+#[derive(Debug, Default)]
+pub struct CharacteristicSets {
+    /// Characteristic set → number of vertices exhibiting it.
+    summary: Vec<(CharSet, u64)>,
+    /// Directed edge-label counts: (l_u, l_v) → # ordered embeddings.
+    edge_counts: HashMap<(Label, Label), u64>,
+    fitted_for: Option<(usize, usize)>,
+}
+
+impl CharacteristicSets {
+    /// Creates an unfitted estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn build_summary(&mut self, g: &Graph) {
+        let mut by_cs: HashMap<CharSet, u64> = HashMap::new();
+        let mut edges: HashMap<(Label, Label), u64> = HashMap::new();
+        for v in g.vertices() {
+            let mut hist: HashMap<Label, u32> = HashMap::new();
+            for &u in g.neighbors(v) {
+                *hist.entry(g.label(u)).or_insert(0) += 1;
+                *edges.entry((g.label(v), g.label(u))).or_insert(0) += 1;
+            }
+            let mut hist: Vec<(Label, u32)> = hist.into_iter().collect();
+            hist.sort_unstable();
+            *by_cs.entry((g.label(v), hist)).or_insert(0) += 1;
+        }
+        self.summary = by_cs.into_iter().collect();
+        self.summary.sort();
+        self.edge_counts = edges;
+        self.fitted_for = Some((g.n_vertices(), g.n_edges()));
+    }
+
+    /// Ordered embeddings of the star rooted at query vertex `u`.
+    fn star_estimate(&self, q: &Graph, u: u32) -> f64 {
+        let mut need: HashMap<Label, u32> = HashMap::new();
+        for &w in q.neighbors(u) {
+            *need.entry(q.label(w)).or_insert(0) += 1;
+        }
+        let lu = q.label(u);
+        let mut total = 0.0;
+        'cs: for ((label, hist), count) in &self.summary {
+            if *label != lu {
+                continue;
+            }
+            let mut ways = 1.0f64;
+            for (&l, &k) in &need {
+                let have = hist
+                    .iter()
+                    .find(|&&(hl, _)| hl == l)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(0);
+                if have < k {
+                    continue 'cs;
+                }
+                // Ordered choices: have · (have−1) ⋯ (have−k+1).
+                for i in 0..k {
+                    ways *= (have - i) as f64;
+                }
+            }
+            total += *count as f64 * ways;
+        }
+        total
+    }
+}
+
+impl CountEstimator for CharacteristicSets {
+    fn name(&self) -> &'static str {
+        "CSet"
+    }
+
+    fn fit(&mut self, g: &Graph, _train: &[(Graph, u64)]) {
+        self.build_summary(g);
+    }
+
+    fn estimate(&mut self, q: &Graph, g: &Graph) -> Option<f64> {
+        if self.fitted_for != Some((g.n_vertices(), g.n_edges())) {
+            self.build_summary(g);
+        }
+        if q.n_vertices() == 0 {
+            return Some(1.0);
+        }
+        let mut numerator = 1.0f64;
+        for u in q.vertices() {
+            let s = self.star_estimate(q, u);
+            if s == 0.0 {
+                return Some(0.0);
+            }
+            numerator *= s;
+        }
+        let mut denominator = 1.0f64;
+        for e in q.edges() {
+            let (l1, l2) = (q.label(e.u), q.label(e.v));
+            // Ordered single-edge embeddings with this label pair.
+            let c = *self.edge_counts.get(&(l1, l2)).unwrap_or(&0);
+            if c == 0 {
+                return Some(0.0);
+            }
+            denominator *= c as f64;
+        }
+        // Isolated query vertices contribute their stars (= label counts)
+        // with no edge correction; connected parts divide per edge.
+        Some(numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::workload;
+    use neursc_core::q_error;
+
+    #[test]
+    fn exact_on_single_edge_queries() {
+        let g = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        let q = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        // 3 (0,1)-labeled ordered embeddings (star/edge cancellation exact).
+        assert_eq!(est.estimate(&q, &g), Some(3.0));
+    }
+
+    #[test]
+    fn exact_on_single_vertex_queries() {
+        let g = Graph::from_edges(3, &[0, 0, 1], &[(0, 2)]).unwrap();
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        let q = Graph::from_edges(1, &[0], &[]).unwrap();
+        assert_eq!(est.estimate(&q, &g), Some(2.0));
+    }
+
+    #[test]
+    fn exact_on_stars() {
+        // Star queries are CSet's home turf: the summary answers exactly.
+        let g = Graph::from_edges(
+            6,
+            &[0, 1, 1, 0, 1, 2],
+            &[(0, 1), (0, 2), (3, 4), (3, 5)],
+        )
+        .unwrap();
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        // Star: center 0, two leaves labeled 1 → only vertex 0 hosts it,
+        // with 2·1 = 2 ordered leaf embeddings.
+        let q = Graph::from_edges(3, &[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+        let e = est.estimate(&q, &g).unwrap();
+        // Star(center)=2; leaves' stars: each label-1 leaf with a 0-neighbor:
+        // vertices 1,2 → star(leaf)=2 each... combined with edge correction:
+        // 2 · 2 · 2 / (2·2) = 2 = exact count.
+        assert_eq!(e, 2.0);
+    }
+
+    #[test]
+    fn zero_when_label_missing() {
+        let g = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        let q = Graph::from_edges(2, &[0, 7], &[(0, 1)]).unwrap();
+        assert_eq!(est.estimate(&q, &g), Some(0.0));
+    }
+
+    #[test]
+    fn underestimates_triangles() {
+        // The independence assumption cannot see closure: on a graph that
+        // is exactly one triangle, the estimate is below the truth (6).
+        let g =
+            Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let tri = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        let e = est.estimate(&tri, &g).unwrap();
+        assert!(e < 6.0, "expected underestimate, got {e}");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn reasonable_on_random_workload() {
+        let (g, queries) = workload(3, 5, 4);
+        let mut est = CharacteristicSets::new();
+        est.fit(&g, &[]);
+        for (q, c) in &queries {
+            let e = est.estimate(q, &g).unwrap();
+            assert!(e.is_finite() && e >= 0.0);
+            // Sanity: within a few orders of magnitude on simple queries.
+            assert!(q_error(e, *c as f64) < 1e6);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 10 — robustness: train NeurSC and LSS on Yeast Q16 only, then
+//! evaluate on the unseen sizes Q4/Q8/Q24/Q32.
+
+use neursc_bench::harness::{build_workload, evaluate, header, HarnessConfig};
+use neursc_bench::methods;
+use neursc_bench::BoxStats;
+use neursc_workloads::datasets::DatasetId;
+
+fn main() {
+    let cfg = HarnessConfig::default();
+    let w = build_workload(DatasetId::Yeast, &cfg);
+    header("Figure 10: robustness across query sizes (train on Q16)", &w);
+
+    let train: Vec<(neursc_graph::Graph, u64)> = w
+        .query_sets
+        .iter()
+        .find(|(s, _)| *s == 16)
+        .map(|(_, l)| l.clone())
+        .unwrap_or_default();
+    if train.len() < 5 {
+        println!("not enough solvable Q16 queries ({})", train.len());
+        return;
+    }
+    println!("training on {} Q16 queries\n", train.len());
+
+    for maker in [methods::lss, methods::neursc] {
+        let mut m = maker(&cfg);
+        m.fit(&w.graph, &train);
+        println!("-- {} --", m.name());
+        for (size, labeled) in &w.query_sets {
+            if *size == 16 || labeled.is_empty() {
+                continue;
+            }
+            let r = evaluate(m.as_mut(), &w.graph, labeled);
+            if let Some(s) = BoxStats::from(&r.signed_q_errors) {
+                println!("{}", s.row(&format!("Q{size}")));
+            }
+        }
+        println!();
+    }
+    println!("Expected shape (paper): overestimates on Q4/Q8, underestimates on");
+    println!("Q24/Q32 for both; NeurSC's q-errors stay smaller than LSS's.");
+}

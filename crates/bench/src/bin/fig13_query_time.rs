@@ -1,0 +1,43 @@
+//! Figure 13 — average query processing time of every method on one
+//! dataset (learning-based methods are timed after training).
+//!
+//! Usage: `fig13_query_time [dataset]` (default: yeast).
+
+use neursc_bench::harness::{build_workload, fit_and_evaluate, header, HarnessConfig};
+use neursc_bench::methods;
+use neursc_workloads::datasets::DatasetId;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "yeast".into());
+    let id = DatasetId::parse(&arg).unwrap_or_else(|| {
+        eprintln!("unknown dataset {arg:?}");
+        std::process::exit(2);
+    });
+    let cfg = HarnessConfig::default();
+    let w = build_workload(id, &cfg);
+    header("Figure 13: query processing time", &w);
+
+    for (size, labeled) in &w.query_sets {
+        if labeled.len() < 5 {
+            continue;
+        }
+        println!("\n-- Q{size} (avg ms per query) --");
+        let mut lineup: Vec<Box<dyn neursc_baselines::CountEstimator>> = Vec::new();
+        lineup.extend(methods::gcare_methods());
+        lineup.push(methods::lss(&cfg));
+        lineup.push(methods::neursc(&cfg));
+        for mut m in lineup {
+            let (r, _) = fit_and_evaluate(m.as_mut(), &w.graph, labeled, &cfg);
+            println!(
+                "{:<10} {:>10.2} ms/query   (answered {}, timeouts {})",
+                r.name,
+                r.avg_query_ms,
+                r.q_errors.len(),
+                r.timeouts
+            );
+        }
+    }
+    println!("\nExpected shape (paper): CSet fastest; LSS beats NeurSC on small");
+    println!("queries / large graphs; NeurSC's time shrinks with candidate-set");
+    println!("size and overtakes LSS on the largest query sets (Q32).");
+}

@@ -1,0 +1,72 @@
+//! Figure 14 — the efficiency/accuracy trade-off of §5.8: sweep the
+//! substructure sample rate `r_s ∈ {0.1 … 0.5, 1.0}` on Youtube Q16 and
+//! EU2005 Q8, reporting q-error distributions and per-query time, with
+//! LSS as the reference line.
+
+use neursc_bench::harness::{build_workload_sizes, fit_and_evaluate, header, HarnessConfig};
+use neursc_bench::methods;
+use neursc_bench::BoxStats;
+use neursc_core::loss::signed_q_error;
+use neursc_core::train::prepare_query;
+use neursc_core::NeurSc;
+use neursc_workloads::datasets::DatasetId;
+use neursc_workloads::split::{take, train_test_split};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::default();
+    // The paper sweeps Youtube Q16 and EU2005 Q8; at this reproduction's
+    // scaled-down graph sizes those queries extract a single connected
+    // substructure (nothing to sample), so the sweep runs on the sizes
+    // where extraction fragments — Youtube Q4 (≈11 substructures/query)
+    // and DBLP Q4 (≈4) — which is the regime §5.8's dial actually targets.
+    for (id, size) in [(DatasetId::Youtube, 4usize), (DatasetId::Dblp, 4)] {
+        let w = build_workload_sizes(id, &[size], &cfg);
+        header(&format!("Figure 14: trade-off on {} Q{size}", id.name()), &w);
+        let (_, labeled) = &w.query_sets[0];
+        if labeled.len() < 5 {
+            println!("not enough solvable queries ({})\n", labeled.len());
+            continue;
+        }
+        let (train_idx, test_idx) = train_test_split(labeled.len(), cfg.test_frac, cfg.seed);
+        let train = take(labeled, &train_idx);
+        let test = take(labeled, &test_idx);
+
+        // LSS reference.
+        let mut lss = methods::lss(&cfg);
+        let (lss_r, _) = fit_and_evaluate(lss.as_mut(), &w.graph, labeled, &cfg);
+        if let Some(s) = BoxStats::from(&lss_r.signed_q_errors) {
+            println!("{}   {:.2} ms/query", s.row("LSS"), lss_r.avg_query_ms);
+        }
+
+        // One trained NeurSC, evaluated at each sample rate.
+        let mut model = NeurSc::new(methods::neursc_config(&cfg), cfg.seed);
+        model.fit(&w.graph, &train).expect("non-empty training set");
+        // Pre-extract test queries once; sampling varies per rate.
+        let prepared: Vec<_> = test
+            .iter()
+            .map(|(q, c)| (prepare_query(q, &w.graph, &model.config, *c), *c))
+            .collect();
+        for rate in [0.1, 0.2, 0.3, 0.4, 0.5, 1.0] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let t = Instant::now();
+            let errs: Vec<f64> = prepared
+                .iter()
+                .map(|(pq, c)| {
+                    let e =
+                        neursc_core::sampling::estimate_with_sample_rate(&model, pq, rate, &mut rng);
+                    signed_q_error(e, *c as f64)
+                })
+                .collect();
+            let ms = t.elapsed().as_secs_f64() * 1e3 / prepared.len().max(1) as f64;
+            if let Some(s) = BoxStats::from(&errs) {
+                println!("{}   {:.2} ms/query", s.row(&format!("r_s={rate}")), ms);
+            }
+        }
+        println!();
+    }
+    println!("Expected shape (paper): q-error shrinks and time grows with r_s;");
+    println!("around r_s ≈ 0.4 NeurSC matches LSS's EU2005 accuracy, and on");
+    println!("Youtube it already beats LSS at r_s = 0.1 within ~2× LSS's time.");
+}

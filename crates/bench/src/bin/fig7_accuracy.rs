@@ -1,0 +1,53 @@
+//! Figure 7 — accuracy comparison: signed q-error box plots of every
+//! method on one dataset, per query-size set.
+//!
+//! Usage: `fig7_accuracy [dataset]` (default: yeast). NSIC runs on Yeast
+//! only, as in the paper (it refuses larger graphs).
+
+use neursc_bench::harness::{build_workload, fit_and_evaluate, header, HarnessConfig};
+use neursc_bench::methods;
+use neursc_bench::BoxStats;
+use neursc_core::Variant;
+use neursc_workloads::datasets::DatasetId;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "yeast".into());
+    let id = DatasetId::parse(&arg).unwrap_or_else(|| {
+        eprintln!("unknown dataset {arg:?}; expected one of Yeast/Human/HPRD/Wordnet/DBLP/EU2005/Youtube");
+        std::process::exit(2);
+    });
+    let cfg = HarnessConfig::default();
+    let w = build_workload(id, &cfg);
+    header("Figure 7: q-error accuracy comparison", &w);
+
+    for (size, labeled) in &w.query_sets {
+        if labeled.len() < 5 {
+            println!("\n-- Q{size}: skipped ({} solvable queries)", labeled.len());
+            continue;
+        }
+        println!("\n-- Q{size} (signed q-error: negative = underestimate) --");
+        let mut lineup: Vec<Box<dyn neursc_baselines::CountEstimator>> = Vec::new();
+        lineup.extend(methods::gcare_methods());
+        if id == DatasetId::Yeast {
+            lineup.extend(methods::nsic_methods(&cfg));
+        }
+        lineup.push(methods::lss(&cfg));
+        lineup.push(methods::neursc_variant(&cfg, Variant::IntraOnly, "NeurSC-I"));
+        lineup.push(methods::neursc_variant(&cfg, Variant::DualOnly, "NeurSC-D"));
+        lineup.push(methods::neursc(&cfg));
+
+        for mut m in lineup {
+            let (r, _) = fit_and_evaluate(m.as_mut(), &w.graph, labeled, &cfg);
+            match BoxStats::from(&r.signed_q_errors) {
+                Some(s) => {
+                    let mut row = s.row(r.name);
+                    if r.timeouts > 0 {
+                        row.push_str(&format!("  timeouts={}", r.timeouts));
+                    }
+                    println!("{row}");
+                }
+                None => println!("{:<14} all {} queries timed out", r.name, r.timeouts),
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 8 — q-error varying true-count ranges on Yeast: NeurSC vs. LSS
+//! with queries bucketed by the decade of their ground-truth count.
+
+use neursc_bench::harness::{build_workload, fit_and_evaluate, header, HarnessConfig};
+use neursc_bench::methods;
+use neursc_bench::BoxStats;
+use neursc_workloads::datasets::DatasetId;
+
+fn main() {
+    let cfg = HarnessConfig::default();
+    let w = build_workload(DatasetId::Yeast, &cfg);
+    header("Figure 8: q-error varying true count ranges (Yeast)", &w);
+
+    // Pool every size's queries, as the paper does for its 1,632 queries.
+    let all: Vec<(neursc_graph::Graph, u64)> = w
+        .query_sets
+        .iter()
+        .flat_map(|(_, l)| l.iter().cloned())
+        .collect();
+    if all.len() < 10 {
+        println!("not enough solvable queries ({})", all.len());
+        return;
+    }
+
+    for maker in [methods::lss, methods::neursc] {
+        let mut m = maker(&cfg);
+        let (r, test) = fit_and_evaluate(m.as_mut(), &w.graph, &all, &cfg);
+        println!("\n-- {} --", r.name);
+        // Bucket the evaluated queries by log10(count) decades.
+        let rows: Vec<(f64, f64)> = test
+            .iter()
+            .zip(&r.signed_q_errors)
+            .map(|((_, c), &e)| ((*c as f64).max(1.0).log10(), e))
+            .collect();
+        let decades = [(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 20.0)];
+        for (lo, hi) in decades {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|(d, _)| *d >= lo && *d < hi)
+                .map(|&(_, e)| e)
+                .collect();
+            if let Some(s) = BoxStats::from(&vals) {
+                println!("{}", s.row(&format!("c∈[1e{lo:.0},1e{hi:.0})")));
+            }
+        }
+    }
+    println!("\nExpected shape (paper): NeurSC beats LSS across all count ranges.");
+}

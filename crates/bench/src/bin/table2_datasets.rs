@@ -1,0 +1,31 @@
+//! Table 2 — statistics of the data graphs (ours vs. the paper).
+
+use neursc_workloads::datasets::DatasetId;
+use neursc_workloads::stats::table2_row;
+
+fn main() {
+    println!("=== Table 2: Statistics of Data Graphs (ours | paper) ===");
+    println!(
+        "{:<9} {:>9} {:>10} | {:>10} {:>11} | {:>5} {:>5} | {:>6} {:>6}",
+        "Dataset", "|V|", "paper|V|", "|E|", "paper|E|", "|L|", "pap", "d", "pap"
+    );
+    for id in DatasetId::ALL {
+        let r = table2_row(id);
+        println!(
+            "{:<9} {:>9} {:>10} | {:>10} {:>11} | {:>5} {:>5} | {:>6.1} {:>6.1}",
+            r.name,
+            r.vertices.0,
+            r.vertices.1,
+            r.edges.0,
+            r.edges.1,
+            r.labels.0,
+            r.labels.1,
+            r.avg_degree.0,
+            r.avg_degree.1
+        );
+    }
+    println!();
+    println!("Yeast/Human/HPRD are full-scale; the four large graphs are scaled");
+    println!("generators preserving average degree, |L| and degree-tail shape");
+    println!("(DESIGN.md §3).");
+}

@@ -1,0 +1,153 @@
+//! Box-plot statistics matching the paper's Figure 7 conventions: the box
+//! spans the 25th–75th percentiles, whiskers cover *all* values, the line
+//! is the median, and under/over-estimation is signed on the y-axis.
+
+/// Five-number summary plus mean, over a (possibly signed) q-error sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Smallest value (deepest underestimate in signed mode).
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest value (worst overestimate in signed mode).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary. Returns `None` on an empty sample.
+    pub fn from(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let rank = p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (rank - lo as f64) * (v[hi] - v[lo])
+            }
+        };
+        Some(BoxStats {
+            min: v[0],
+            q1: pct(0.25),
+            median: pct(0.5),
+            q3: pct(0.75),
+            max: v[v.len() - 1],
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            n: values.len(),
+        })
+    }
+
+    /// One formatted row (fixed-width, log-friendly magnitudes).
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<14} n={:<4} min={:<10.3} q1={:<10.3} med={:<10.3} q3={:<10.3} max={:<12.3} mean={:.3}",
+            self.n, self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Buckets values by a key function and summarizes each bucket (Fig. 8/9's
+/// "q-error varying X" panels). Returns `(bucket label, stats)` in bucket
+/// order, skipping empty buckets.
+pub fn bucketed_stats<T>(
+    items: &[T],
+    n_buckets: usize,
+    key: impl Fn(&T) -> f64,
+    value: impl Fn(&T) -> f64,
+) -> Vec<(String, BoxStats)> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let keys: Vec<f64> = items.iter().map(&key).collect();
+    let lo = keys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = keys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / n_buckets as f64).max(f64::EPSILON);
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+    for (k, item) in keys.iter().zip(items) {
+        let idx = (((k - lo) / width) as usize).min(n_buckets - 1);
+        buckets[idx].push(value(item));
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, vals)| {
+            BoxStats::from(&vals).map(|s| {
+                let b_lo = lo + i as f64 * width;
+                let b_hi = b_lo + width;
+                (format!("[{b_lo:.2},{b_hi:.2})"), s)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary() {
+        let s = BoxStats::from(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let s = BoxStats::from(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(BoxStats::from(&[]).is_none());
+        let s = BoxStats::from(&[7.0]).unwrap();
+        assert_eq!((s.min, s.median, s.max), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = BoxStats::from(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn bucketing_partitions_by_key() {
+        let items: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let b = bucketed_stats(&items, 2, |x| x.0, |x| x.1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].1.n + b[1].1.n, 10);
+        assert!(b[0].1.max < b[1].1.min);
+    }
+
+    #[test]
+    fn row_formats_label_and_fields() {
+        let s = BoxStats::from(&[1.0, 2.0]).unwrap();
+        let r = s.row("NeurSC");
+        assert!(r.contains("NeurSC"));
+        assert!(r.contains("n=2"));
+        assert!(r.contains("med="));
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§6). Each `src/bin/*` binary regenerates one artifact; this
+//! library holds the shared machinery: workload construction, method
+//! registry, q-error aggregation and box-plot statistics.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p neursc-bench --bin fig7_accuracy -- yeast
+//! ```
+//!
+//! Scale knobs (all defaulted so every binary finishes in minutes on a
+//! laptop; raise for tighter statistics):
+//!
+//! * `NEURSC_QUERIES`  — queries per query set (default 36).
+//! * `NEURSC_EPOCHS`   — NeurSC pre-training epochs (default 20).
+//! * `NEURSC_GT_BUDGET`— ground-truth expansion budget (default 2e9).
+
+pub mod boxplot;
+pub mod harness;
+pub mod methods;
+
+pub use boxplot::BoxStats;
+pub use harness::{build_workload, HarnessConfig, MethodResult, Workload};

@@ -1,0 +1,248 @@
+//! NeurSC configuration: architecture hyperparameters (paper §6.1),
+//! training settings (Algorithm 3) and ablation variants (§6.2).
+
+use neursc_gnn::{AttentionConfig, FeatureConfig, GinConfig};
+use neursc_match::FilterConfig;
+
+/// Which distance the discriminator minimizes between corresponding
+/// query/data vertex representations (Fig. 12 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscriminatorMetric {
+    /// Wasserstein-1 via a clamped critic (the paper's choice, §5.5).
+    Wasserstein,
+    /// Squared Euclidean distance between paired representations.
+    Euclidean,
+    /// KL divergence between softmax-normalized representations.
+    KullbackLeibler,
+    /// Jensen–Shannon divergence between softmax-normalized representations.
+    JensenShannon,
+}
+
+/// Model variants evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full NeurSC: dual GNNs + Wasserstein discriminator.
+    Full,
+    /// `NeurSC-D`: dual GNNs, no discriminator.
+    DualOnly,
+    /// `NeurSC-I`: intra-graph GNN only.
+    IntraOnly,
+    /// `NeurSC w/o SE`: no substructure extraction — the intra-GNN runs on
+    /// the query and the *entire* data graph (Fig. 11).
+    NoExtraction,
+}
+
+/// Full configuration of a [`crate::NeurSc`] model.
+#[derive(Debug, Clone)]
+pub struct NeurScConfig {
+    /// Feature-initialization settings (Eq. 1; `dim_0 = 64` in the paper).
+    pub features: FeatureConfig,
+    /// Intra-graph GIN settings (2 layers, `dim_K = 128` in the paper).
+    pub gin: GinConfig,
+    /// Inter-graph attention settings (2 layers, `dim_{K'} = 128`).
+    pub attention: AttentionConfig,
+    /// Hidden width of the 4-layer prediction MLP.
+    pub head_hidden: usize,
+    /// Hidden width of the 3-layer discriminator MLP.
+    pub disc_hidden: usize,
+    /// Candidate-filtering settings (§4(1)).
+    pub filter: FilterConfig,
+    /// Variant under evaluation.
+    pub variant: Variant,
+    /// Discriminator distance metric.
+    pub metric: DiscriminatorMetric,
+    /// Loss balance β ∈ (0, 1) in Eq. 11 (paper tunes in [0.5, 0.99]).
+    pub beta: f32,
+    /// Learning rate for the estimation network (paper: 1e-3).
+    pub lr_est: f32,
+    /// Learning rate for the discriminator (paper: 1e-3).
+    pub lr_disc: f32,
+    /// Batch size (paper: 20).
+    pub batch_size: usize,
+    /// Discriminator iterations per input pair (paper: 1).
+    pub iter_disc: usize,
+    /// Pre-training epochs with the count loss only (§5.6's warm-up that
+    /// avoids the all-equal-representations degenerate case).
+    pub pretrain_epochs: usize,
+    /// Adversarial fine-tuning epochs (Algorithm 3).
+    pub adversarial_epochs: usize,
+    /// Weight-clamp box for the critic (paper: 0.01).
+    pub clamp: f32,
+    /// Substructure sample rate `r_s ∈ (0, 1]` at *query* time (§5.8);
+    /// 1.0 = use all substructures.
+    pub sample_rate: f64,
+    /// Whether correspondence pairs are restricted to candidate sets
+    /// (§5.5, the paper's improvement) or chosen unconstrained as in
+    /// Gao et al. \[21\] (`false` — the `NeurSC-UNC` ablation).
+    pub candidate_guided_correspondence: bool,
+    /// Whether to add random query–data edges linking `G_B`'s connected
+    /// components (§5.3; `false` is the ablation of DESIGN.md §5 —
+    /// attention messages then stay within components).
+    pub gb_connect_components: bool,
+    /// Cap on candidate-substructure size (vertices) fed to the GNNs; the
+    /// largest substructures are truncated to their highest-degree
+    /// candidate vertices. `None` = no cap. This guards the CPU-only
+    /// substitution substrate; the paper's GPU runs uncapped.
+    pub max_substructure_vertices: Option<usize>,
+    /// RNG seed for weight init, batching and `G_B` connector edges.
+    pub seed: u64,
+}
+
+impl Default for NeurScConfig {
+    /// The paper's §6.1 settings.
+    fn default() -> Self {
+        let features = FeatureConfig::default(); // dim_0 = 64
+        NeurScConfig {
+            features,
+            gin: GinConfig {
+                in_dim: features.dim(),
+                hidden_dim: 128,
+                n_layers: 2,
+            },
+            attention: AttentionConfig {
+                in_dim: features.dim(),
+                hidden_dim: 128,
+                n_layers: 2,
+                self_term: false,
+            },
+            head_hidden: 128,
+            disc_hidden: 64,
+            filter: FilterConfig::default(),
+            variant: Variant::Full,
+            metric: DiscriminatorMetric::Wasserstein,
+            beta: 0.7,
+            lr_est: 1e-3,
+            lr_disc: 1e-3,
+            batch_size: 20,
+            iter_disc: 1,
+            pretrain_epochs: 20,
+            adversarial_epochs: 10,
+            clamp: 0.01,
+            sample_rate: 1.0,
+            candidate_guided_correspondence: true,
+            gb_connect_components: true,
+            max_substructure_vertices: Some(4096),
+            seed: 0,
+        }
+    }
+}
+
+impl NeurScConfig {
+    /// A small, fast configuration used by tests, examples and the
+    /// CPU-bound benchmark harnesses (hidden dim 32, few epochs). Same
+    /// architecture, smaller widths — see DESIGN.md §3.
+    pub fn small() -> Self {
+        let features = FeatureConfig {
+            degree_bits: 8,
+            label_bits: 8,
+            k_hops: 1,
+        };
+        NeurScConfig {
+            features,
+            gin: GinConfig {
+                in_dim: features.dim(),
+                hidden_dim: 32,
+                n_layers: 2,
+            },
+            attention: AttentionConfig {
+                in_dim: features.dim(),
+                hidden_dim: 32,
+                n_layers: 2,
+                self_term: false,
+            },
+            head_hidden: 64,
+            disc_hidden: 32,
+            pretrain_epochs: 25,
+            adversarial_epochs: 8,
+            max_substructure_vertices: Some(1024),
+            ..NeurScConfig::default()
+        }
+    }
+
+    /// Applies a variant preset.
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the discriminator metric (Fig. 12 ablation).
+    pub fn with_metric(mut self, m: DiscriminatorMetric) -> Self {
+        self.metric = m;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Combined per-vertex representation width `dim_K + dim_{K'}` (or just
+    /// `dim_K` for the intra-only variant).
+    pub fn rep_dim(&self) -> usize {
+        match self.variant {
+            Variant::IntraOnly | Variant::NoExtraction => self.gin.hidden_dim,
+            _ => self.gin.hidden_dim + self.attention.hidden_dim,
+        }
+    }
+
+    /// Whether the variant uses the inter-graph attentive network.
+    pub fn uses_inter(&self) -> bool {
+        matches!(self.variant, Variant::Full | Variant::DualOnly)
+    }
+
+    /// Whether the variant trains the discriminator.
+    pub fn uses_discriminator(&self) -> bool {
+        matches!(self.variant, Variant::Full)
+    }
+
+    /// Whether the variant extracts substructures.
+    pub fn uses_extraction(&self) -> bool {
+        !matches!(self.variant, Variant::NoExtraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = NeurScConfig::default();
+        assert_eq!(c.features.dim(), 64);
+        assert_eq!(c.gin.hidden_dim, 128);
+        assert_eq!(c.gin.n_layers, 2);
+        assert_eq!(c.attention.n_layers, 2);
+        assert_eq!(c.batch_size, 20);
+        assert_eq!(c.iter_disc, 1);
+        assert!((c.lr_est - 1e-3).abs() < 1e-12);
+        assert!((c.clamp - 0.01).abs() < 1e-12);
+        assert!(c.beta > 0.5 && c.beta < 0.99);
+    }
+
+    #[test]
+    fn variant_flags() {
+        let full = NeurScConfig::default();
+        assert!(full.uses_inter() && full.uses_discriminator() && full.uses_extraction());
+        let d = full.clone().with_variant(Variant::DualOnly);
+        assert!(d.uses_inter() && !d.uses_discriminator());
+        let i = d.clone().with_variant(Variant::IntraOnly);
+        assert!(!i.uses_inter());
+        assert_eq!(i.rep_dim(), i.gin.hidden_dim);
+        let nse = i.with_variant(Variant::NoExtraction);
+        assert!(!nse.uses_extraction());
+    }
+
+    #[test]
+    fn rep_dim_concatenates_for_dual() {
+        let c = NeurScConfig::default();
+        assert_eq!(c.rep_dim(), 256);
+    }
+
+    #[test]
+    fn small_is_consistent() {
+        let c = NeurScConfig::small();
+        assert_eq!(c.gin.in_dim, c.features.dim());
+        assert_eq!(c.attention.in_dim, c.features.dim());
+    }
+}

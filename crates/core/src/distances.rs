@@ -1,0 +1,240 @@
+//! Alternative discriminator distance metrics (paper Fig. 12 ablation).
+//!
+//! The variants `NeurSC-EU`, `NeurSC-KL` and `NeurSC-JS` replace the
+//! Wasserstein critic with a direct distance between corresponding query
+//! and data vertex representations: pairs are the candidate-set-respecting
+//! nearest neighbors in representation space, and training minimizes the
+//! chosen distance as the `L_w` term of Eq. 11. KL and JS operate on
+//! softmax-normalized representations (they compare distributions).
+
+use crate::config::DiscriminatorMetric;
+use neursc_nn::{Tape, Tensor, Var};
+
+/// Selects, for every query vertex `u`, the candidate `v ∈ CS(u)` closest
+/// to it under `metric` (computed on the forward *values*). Returns
+/// parallel index lists.
+pub fn select_nearest_pairs(
+    h_q: &Tensor,
+    h_sub: &Tensor,
+    local_cs: &[Vec<u32>],
+    metric: DiscriminatorMetric,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut qs = Vec::new();
+    let mut ds = Vec::new();
+    for (u, cands) in local_cs.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        let hu = h_q.row(u);
+        let best = cands
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da = value_distance(hu, h_sub.row(a as usize), metric);
+                let db = value_distance(hu, h_sub.row(b as usize), metric);
+                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+            })
+            .unwrap();
+        qs.push(u as u32);
+        ds.push(best);
+    }
+    (qs, ds)
+}
+
+fn value_distance(a: &[f32], b: &[f32], metric: DiscriminatorMetric) -> f32 {
+    match metric {
+        DiscriminatorMetric::Wasserstein | DiscriminatorMetric::Euclidean => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum(),
+        DiscriminatorMetric::KullbackLeibler => {
+            let (p, q) = (softmax_slice(a), softmax_slice(b));
+            kl_slice(&p, &q)
+        }
+        DiscriminatorMetric::JensenShannon => {
+            let (p, q) = (softmax_slice(a), softmax_slice(b));
+            let m: Vec<f32> = p.iter().zip(&q).map(|(&x, &y)| 0.5 * (x + y)).collect();
+            0.5 * kl_slice(&p, &m) + 0.5 * kl_slice(&q, &m)
+        }
+    }
+}
+
+fn softmax_slice(x: &[f32]) -> Vec<f32> {
+    let m = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = x.iter().map(|&v| (v - m).exp()).collect();
+    let s: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s.max(1e-12)).collect()
+}
+
+fn kl_slice(p: &[f32], q: &[f32]) -> f32 {
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * ((pi + 1e-12).ln() - (qi + 1e-12).ln())
+            }
+        })
+        .sum()
+}
+
+pub use neursc_gnn::row_softmax;
+
+/// The differentiable distance term for the θ update (plays the role of
+/// `−L_w` in Eq. 11: it is *added* to the loss, so minimizing it pulls
+/// corresponding representations together).
+pub fn metric_loss(
+    tape: &mut Tape,
+    h_q: Var,
+    h_sub: Var,
+    queries: &[u32],
+    data: &[u32],
+    metric: DiscriminatorMetric,
+) -> Var {
+    assert_eq!(queries.len(), data.len());
+    assert!(!queries.is_empty(), "no correspondence pairs");
+    let n = queries.len() as f32;
+    let hu = tape.index_select(h_q, queries);
+    let hv = tape.index_select(h_sub, data);
+    match metric {
+        DiscriminatorMetric::Wasserstein | DiscriminatorMetric::Euclidean => {
+            let diff = tape.sub(hu, hv);
+            let sq = tape.mul(diff, diff);
+            let total = tape.sum(sq);
+            tape.scale(total, 1.0 / n)
+        }
+        DiscriminatorMetric::KullbackLeibler => {
+            let p = row_softmax(tape, hu);
+            let q = row_softmax(tape, hv);
+            let kl = kl_on_tape(tape, p, q);
+            tape.scale(kl, 1.0 / n)
+        }
+        DiscriminatorMetric::JensenShannon => {
+            let p = row_softmax(tape, hu);
+            let q = row_softmax(tape, hv);
+            let sum = tape.add(p, q);
+            let m = tape.scale(sum, 0.5);
+            let k1 = kl_on_tape(tape, p, m);
+            let k2 = kl_on_tape(tape, q, m);
+            let s = tape.add(k1, k2);
+            tape.scale(s, 0.5 / n)
+        }
+    }
+}
+
+/// `Σ_ij p_ij (ln p_ij − ln q_ij)` on the tape.
+fn kl_on_tape(tape: &mut Tape, p: Var, q: Var) -> Var {
+    let lp = tape.ln(p, 1e-12);
+    let lq = tape.ln(q, 1e-12);
+    let d = tape.sub(lp, lq);
+    let w = tape.mul(p, d);
+    tape.sum(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_pair_selection_euclidean() {
+        let h_q = Tensor::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]);
+        let h_s = Tensor::from_rows(&[&[0.1, 0.0], &[4.9, 5.1], &[100.0, 0.0]]);
+        let cs = vec![vec![0, 2], vec![1, 2]];
+        let (qs, ds) =
+            select_nearest_pairs(&h_q, &h_s, &cs, DiscriminatorMetric::Euclidean);
+        assert_eq!(qs, vec![0, 1]);
+        assert_eq!(ds, vec![0, 1]);
+    }
+
+    #[test]
+    fn selection_respects_candidate_sets() {
+        // The globally closest vertex (0) is not in u0's candidate set.
+        let h_q = Tensor::from_rows(&[&[0.0, 0.0]]);
+        let h_s = Tensor::from_rows(&[&[0.0, 0.0], &[9.0, 9.0]]);
+        let cs = vec![vec![1]];
+        let (_, ds) = select_nearest_pairs(&h_q, &h_s, &cs, DiscriminatorMetric::Euclidean);
+        assert_eq!(ds, vec![1]);
+    }
+
+    #[test]
+    fn row_softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]));
+        let s = row_softmax(&mut tape, h);
+        let v = tape.value(s);
+        for r in 0..2 {
+            let sum: f32 = v.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(v.row(r).iter().all(|&x| x >= 0.0));
+        }
+        // Softmax is monotone in logits.
+        assert!(v.get(0, 2) > v.get(0, 0));
+    }
+
+    #[test]
+    fn euclidean_loss_zero_for_identical_pairs() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let l = metric_loss(&mut tape, h, h, &[0], &[0], DiscriminatorMetric::Euclidean);
+        assert_eq!(tape.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn kl_and_js_nonnegative_and_zero_at_equality() {
+        for metric in [
+            DiscriminatorMetric::KullbackLeibler,
+            DiscriminatorMetric::JensenShannon,
+        ] {
+            let mut tape = Tape::new();
+            let a = tape.constant(Tensor::from_rows(&[&[1.0, 0.0, -1.0]]));
+            let b = tape.constant(Tensor::from_rows(&[&[0.0, 3.0, 0.0]]));
+            let l_diff = metric_loss(&mut tape, a, b, &[0], &[0], metric);
+            assert!(tape.value(l_diff).item() > 0.0, "{metric:?} not positive");
+            let l_same = metric_loss(&mut tape, a, a, &[0], &[0], metric);
+            assert!(tape.value(l_same).item().abs() < 1e-5, "{metric:?} not zero");
+        }
+    }
+
+    #[test]
+    fn js_is_symmetric_kl_is_not() {
+        let a_t = Tensor::from_rows(&[&[2.0, 0.0, -1.0]]);
+        let b_t = Tensor::from_rows(&[&[0.0, 1.0, 0.5]]);
+        let run = |x: &Tensor, y: &Tensor, m| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let yv = tape.constant(y.clone());
+            let l = metric_loss(&mut tape, xv, yv, &[0], &[0], m);
+            tape.value(l).item()
+        };
+        let js_ab = run(&a_t, &b_t, DiscriminatorMetric::JensenShannon);
+        let js_ba = run(&b_t, &a_t, DiscriminatorMetric::JensenShannon);
+        assert!((js_ab - js_ba).abs() < 1e-5);
+        let kl_ab = run(&a_t, &b_t, DiscriminatorMetric::KullbackLeibler);
+        let kl_ba = run(&b_t, &a_t, DiscriminatorMetric::KullbackLeibler);
+        assert!((kl_ab - kl_ba).abs() > 1e-4);
+    }
+
+    #[test]
+    fn gradients_flow_through_metric_losses() {
+        use neursc_nn::ParamStore;
+        for metric in [
+            DiscriminatorMetric::Euclidean,
+            DiscriminatorMetric::KullbackLeibler,
+            DiscriminatorMetric::JensenShannon,
+        ] {
+            let mut store = ParamStore::new();
+            let p = store.alloc(Tensor::from_rows(&[&[1.0, -1.0]]));
+            let mut tape = Tape::new();
+            let hq = tape.param(&store, p);
+            let hs = tape.constant(Tensor::from_rows(&[&[0.0, 2.0]]));
+            let l = metric_loss(&mut tape, hq, hs, &[0], &[0], metric);
+            tape.backward(l, &mut store);
+            assert!(
+                store.grad(p).max_abs() > 0.0,
+                "{metric:?} produced zero gradient"
+            );
+        }
+    }
+}

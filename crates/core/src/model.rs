@@ -1,0 +1,352 @@
+//! The top-level NeurSC model (paper Algorithm 1).
+
+use crate::config::NeurScConfig;
+use crate::discriminator::Discriminator;
+use crate::loss::q_error;
+use crate::train::{forward_prepared, prepare_query, run_training, PreparedQuery, TrainReport};
+use crate::west::WEst;
+use neursc_graph::Graph;
+use neursc_nn::{ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Errors from model training.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training set was empty.
+    NoTrainingData,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoTrainingData => write!(f, "no training queries supplied"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Detailed estimation output (Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateDetail {
+    /// The estimated subgraph count `ĉ(q)`.
+    pub count: f64,
+    /// Number of candidate substructures processed.
+    pub n_substructures: usize,
+    /// Whether filtering alone proved the count to be 0 (early exit).
+    pub trivially_zero: bool,
+}
+
+/// A trained (or trainable) NeurSC estimator.
+///
+/// See the crate docs for an end-to-end example.
+pub struct NeurSc {
+    /// Architecture and training configuration.
+    pub config: NeurScConfig,
+    /// All trainable parameters (θ ∪ ω).
+    pub store: ParamStore,
+    /// The estimation network `f_θ`.
+    pub west: WEst,
+    /// The Wasserstein critic `f_ω` (present iff the variant uses it).
+    pub disc: Option<Discriminator>,
+}
+
+impl NeurSc {
+    /// Constructs a model with freshly initialized parameters.
+    pub fn new(mut config: NeurScConfig, seed: u64) -> Self {
+        config.seed = seed;
+        // Keep dependent dims consistent if the caller customized features.
+        config.gin.in_dim = config.features.dim();
+        config.attention.in_dim = config.features.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let west = WEst::new(&mut store, &config, &mut rng);
+        let disc = if config.uses_discriminator() {
+            Some(Discriminator::new(&mut store, &config, &mut rng))
+        } else {
+            None
+        };
+        NeurSc {
+            config,
+            store,
+            west,
+            disc,
+        }
+    }
+
+    /// Trains on `(query, exact count)` pairs against `g` (both phases of
+    /// §5.6).
+    pub fn fit(&mut self, g: &Graph, train: &[(Graph, u64)]) -> Result<TrainReport, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::NoTrainingData);
+        }
+        let prepared: Vec<PreparedQuery> = train
+            .iter()
+            .map(|(q, c)| prepare_query(q, g, &self.config, *c))
+            .collect();
+        Ok(run_training(self, &prepared))
+    }
+
+    /// Trains on queries that are already prepared (lets benchmark
+    /// harnesses amortize extraction across model variants).
+    pub fn fit_prepared(&mut self, prepared: &[PreparedQuery]) -> Result<TrainReport, TrainError> {
+        if prepared.is_empty() {
+            return Err(TrainError::NoTrainingData);
+        }
+        Ok(run_training(self, prepared))
+    }
+
+    /// Estimates `c(q, G)` (Algorithm 1): extraction, WEst on every
+    /// substructure, summation.
+    pub fn estimate(&self, q: &Graph, g: &Graph) -> f64 {
+        self.estimate_detailed(q, g).count
+    }
+
+    /// Estimation with diagnostics.
+    pub fn estimate_detailed(&self, q: &Graph, g: &Graph) -> EstimateDetail {
+        let pq = prepare_query(q, g, &self.config, 0);
+        self.estimate_prepared(&pq)
+    }
+
+    /// Estimation over a prepared query.
+    pub fn estimate_prepared(&self, pq: &PreparedQuery) -> EstimateDetail {
+        let mut tape = Tape::new();
+        match forward_prepared(self, &mut tape, pq) {
+            None => EstimateDetail {
+                count: 0.0,
+                n_substructures: 0,
+                trivially_zero: pq.trivially_zero,
+            },
+            Some((_, zs)) => {
+                let count: f64 = zs
+                    .iter()
+                    .map(|&z| (tape.value(z).item() as f64).exp())
+                    .sum();
+                EstimateDetail {
+                    count,
+                    n_substructures: zs.len(),
+                    trivially_zero: false,
+                }
+            }
+        }
+    }
+
+    /// The §5.8 trade-off: estimates from a uniform substructure sample of
+    /// rate `r_s`, rescaled by `|G_sub| / |G'_sub|` (unbiased, Eq. 12).
+    pub fn estimate_sampled(&self, q: &Graph, g: &Graph, r_s: f64, rng: &mut StdRng) -> f64 {
+        let pq = prepare_query(q, g, &self.config, 0);
+        crate::sampling::estimate_with_sample_rate(self, &pq, r_s, rng)
+    }
+
+    /// Estimation for possibly **disconnected** queries: "the subgraph
+    /// counts of a disconnected graph can be obtained by multiplying the
+    /// estimated counts of its connected components" (paper §6.1).
+    ///
+    /// For connected queries this is identical to [`NeurSc::estimate`].
+    /// (The product ignores the injectivity interaction between components,
+    /// exactly as the paper's approximation does.)
+    pub fn estimate_disconnected(&self, q: &Graph, g: &Graph) -> f64 {
+        let components = neursc_graph::induced::connected_components(q);
+        if components.len() <= 1 {
+            return self.estimate(q, g);
+        }
+        components
+            .iter()
+            .map(|c| self.estimate(&c.graph, g))
+            .product()
+    }
+
+    /// Mean q-error over a labeled test set (evaluation convenience).
+    pub fn mean_q_error(&self, g: &Graph, test: &[(Graph, u64)]) -> f64 {
+        if test.is_empty() {
+            return f64::NAN;
+        }
+        let total: f64 = test
+            .iter()
+            .map(|(q, c)| q_error(self.estimate(q, g), *c as f64))
+            .sum();
+        total / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use neursc_graph::generate::erdos_renyi;
+    use neursc_graph::sample::{sample_query, QuerySampler};
+    use neursc_match::count_embeddings;
+
+    fn tiny_config() -> NeurScConfig {
+        let mut c = NeurScConfig::small();
+        c.pretrain_epochs = 8;
+        c.adversarial_epochs = 3;
+        c.batch_size = 8;
+        c
+    }
+
+    fn workload(seed: u64, n_train: usize, size: usize) -> (Graph, Vec<(Graph, u64)>) {
+        let g = erdos_renyi(150, 450, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        while train.len() < n_train {
+            let q = sample_query(&g, &QuerySampler::induced(size), &mut rng).unwrap();
+            if let Some(c) = count_embeddings(&q, &g, 50_000_000).exact() {
+                train.push((q, c));
+            }
+        }
+        (g, train)
+    }
+
+    #[test]
+    fn untrained_model_produces_finite_nonnegative_estimates() {
+        let (g, train) = workload(1, 3, 4);
+        let model = NeurSc::new(tiny_config(), 1);
+        for (q, _) in &train {
+            let e = model.estimate(q, &g);
+            assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_reduces_training_loss() {
+        let (g, train) = workload(2, 12, 4);
+        let mut model = NeurSc::new(tiny_config(), 2);
+        // Loss before: evaluate mean |ln ĉ − ln c|.
+        let before: f64 = train
+            .iter()
+            .map(|(q, c)| {
+                let e = model.estimate(q, &g).max(1.0);
+                (e.ln() - (*c as f64).max(1.0).ln()).abs()
+            })
+            .sum::<f64>()
+            / train.len() as f64;
+        let report = model.fit(&g, &train).unwrap();
+        let after: f64 = train
+            .iter()
+            .map(|(q, c)| {
+                let e = model.estimate(q, &g).max(1.0);
+                (e.ln() - (*c as f64).max(1.0).ln()).abs()
+            })
+            .sum::<f64>()
+            / train.len() as f64;
+        assert!(
+            after < before,
+            "training did not reduce log error: {before} -> {after}"
+        );
+        assert_eq!(report.pretrain_epochs, 8);
+        assert_eq!(report.adversarial_epochs, 3);
+    }
+
+    #[test]
+    fn trained_model_beats_trivial_constant_one() {
+        let (g, train) = workload(3, 16, 4);
+        let mut model = NeurSc::new(tiny_config(), 3);
+        model.fit(&g, &train).unwrap();
+        let model_err = model.mean_q_error(&g, &train);
+        let const_err: f64 = train
+            .iter()
+            .map(|(_, c)| q_error(1.0, *c as f64))
+            .sum::<f64>()
+            / train.len() as f64;
+        assert!(
+            model_err < const_err,
+            "model q-error {model_err} not better than constant-1 {const_err}"
+        );
+    }
+
+    #[test]
+    fn zero_count_queries_short_circuit() {
+        let (g, _) = workload(4, 1, 4);
+        let model = NeurSc::new(tiny_config(), 4);
+        // A query with a label that does not exist in g.
+        let q = Graph::from_edges(2, &[0, 99], &[(0, 1)]).unwrap();
+        let d = model.estimate_detailed(&q, &g);
+        assert_eq!(d.count, 0.0);
+        assert!(d.trivially_zero);
+        assert_eq!(d.n_substructures, 0);
+    }
+
+    #[test]
+    fn all_variants_train_and_estimate() {
+        let (g, train) = workload(5, 6, 4);
+        for variant in [
+            Variant::Full,
+            Variant::DualOnly,
+            Variant::IntraOnly,
+            Variant::NoExtraction,
+        ] {
+            let mut model = NeurSc::new(tiny_config().with_variant(variant), 5);
+            model.fit(&g, &train).unwrap();
+            let e = model.estimate(&train[0].0, &g);
+            assert!(e.is_finite() && e >= 0.0, "variant {variant:?} failed");
+        }
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let mut model = NeurSc::new(tiny_config(), 6);
+        let g = erdos_renyi(20, 40, 2, 0);
+        assert!(matches!(
+            model.fit(&g, &[]),
+            Err(TrainError::NoTrainingData)
+        ));
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let (g, train) = workload(7, 4, 4);
+        let mut model = NeurSc::new(tiny_config(), 7);
+        model.fit(&g, &train).unwrap();
+        let a = model.estimate(&train[0].0, &g);
+        let b = model.estimate(&train[0].0, &g);
+        assert_eq!(a, b);
+    }
+
+    use neursc_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}
+
+#[cfg(test)]
+mod disconnected_tests {
+    use super::*;
+    use neursc_graph::generate::erdos_renyi;
+    use neursc_graph::sample::{sample_query, QuerySampler};
+    use neursc_match::count_embeddings;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disconnected_estimate_is_product_of_components() {
+        let g = erdos_renyi(120, 360, 3, 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut train = Vec::new();
+        while train.len() < 10 {
+            let q = sample_query(&g, &QuerySampler::induced(3), &mut rng).unwrap();
+            if let Some(c) = count_embeddings(&q, &g, 50_000_000).exact() {
+                train.push((q, c));
+            }
+        }
+        let mut cfg = NeurScConfig::small();
+        cfg.pretrain_epochs = 4;
+        cfg.adversarial_epochs = 1;
+        let mut model = NeurSc::new(cfg, 9);
+        model.fit(&g, &train).unwrap();
+
+        // Disconnected query: two independent labeled edges.
+        let q = Graph::from_edges(4, &[0, 1, 2, 0], &[(0, 1), (2, 3)]).unwrap();
+        let e = model.estimate_disconnected(&q, &g);
+        let e1 = model.estimate(&Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap(), &g);
+        let e2 = model.estimate(&Graph::from_edges(2, &[2, 0], &[(0, 1)]).unwrap(), &g);
+        assert!((e - e1 * e2).abs() <= 1e-6 * (e1 * e2).abs().max(1.0));
+    }
+
+    #[test]
+    fn connected_query_falls_through_to_plain_estimate() {
+        let g = erdos_renyi(60, 150, 3, 10);
+        let model = NeurSc::new(NeurScConfig::small(), 10);
+        let q = Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(model.estimate_disconnected(&q, &g), model.estimate(&q, &g));
+    }
+}

@@ -1,0 +1,264 @@
+//! Model persistence: config + parameters in one dependency-free text file.
+//!
+//! Layout:
+//!
+//! ```text
+//! neursc-model v1
+//! <key> = <value>        # configuration lines
+//! ...
+//! ---
+//! neursc-params v1 <n>   # the neursc_nn parameter-store format
+//! ...
+//! ```
+
+use crate::config::{DiscriminatorMetric, NeurScConfig, Variant};
+use crate::model::NeurSc;
+use neursc_gnn::{AttentionConfig, FeatureConfig, GinConfig};
+use neursc_match::FilterConfig;
+use neursc_nn::serialize::{copy_values, store_from_string, store_to_string, SerializeError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes a model to text.
+pub fn model_to_string(model: &NeurSc) -> String {
+    let c = &model.config;
+    let mut out = String::new();
+    out.push_str("neursc-model v1\n");
+    let mut kv = |k: &str, v: String| writeln!(out, "{k} = {v}").unwrap();
+    kv("degree_bits", c.features.degree_bits.to_string());
+    kv("label_bits", c.features.label_bits.to_string());
+    kv("k_hops", c.features.k_hops.to_string());
+    kv("gin_hidden", c.gin.hidden_dim.to_string());
+    kv("gin_layers", c.gin.n_layers.to_string());
+    kv("attn_hidden", c.attention.hidden_dim.to_string());
+    kv("attn_layers", c.attention.n_layers.to_string());
+    kv("attn_self_term", c.attention.self_term.to_string());
+    kv("head_hidden", c.head_hidden.to_string());
+    kv("disc_hidden", c.disc_hidden.to_string());
+    kv("profile_radius", c.filter.profile_radius.to_string());
+    kv("refinement_rounds", c.filter.refinement_rounds.to_string());
+    kv("variant", variant_name(c.variant).to_string());
+    kv("metric", metric_name(c.metric).to_string());
+    kv("beta", c.beta.to_string());
+    kv("lr_est", c.lr_est.to_string());
+    kv("lr_disc", c.lr_disc.to_string());
+    kv("batch_size", c.batch_size.to_string());
+    kv("iter_disc", c.iter_disc.to_string());
+    kv("pretrain_epochs", c.pretrain_epochs.to_string());
+    kv("adversarial_epochs", c.adversarial_epochs.to_string());
+    kv("clamp", c.clamp.to_string());
+    kv("sample_rate", c.sample_rate.to_string());
+    kv("gb_connect_components", c.gb_connect_components.to_string());
+    kv(
+        "candidate_guided_correspondence",
+        c.candidate_guided_correspondence.to_string(),
+    );
+    kv(
+        "max_substructure_vertices",
+        c.max_substructure_vertices
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "none".into()),
+    );
+    kv("seed", c.seed.to_string());
+    out.push_str("---\n");
+    out.push_str(&store_to_string(&model.store));
+    out
+}
+
+fn variant_name(v: Variant) -> &'static str {
+    match v {
+        Variant::Full => "full",
+        Variant::DualOnly => "dual_only",
+        Variant::IntraOnly => "intra_only",
+        Variant::NoExtraction => "no_extraction",
+    }
+}
+
+fn metric_name(m: DiscriminatorMetric) -> &'static str {
+    match m {
+        DiscriminatorMetric::Wasserstein => "wasserstein",
+        DiscriminatorMetric::Euclidean => "euclidean",
+        DiscriminatorMetric::KullbackLeibler => "kl",
+        DiscriminatorMetric::JensenShannon => "js",
+    }
+}
+
+/// Parses a model back. The architecture is rebuilt from the config lines
+/// and the stored parameter values are copied in.
+pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    if header != "neursc-model v1" {
+        return Err(SerializeError::Parse("bad model header".into()));
+    }
+    let mut kv = std::collections::HashMap::new();
+    let mut params_text = String::new();
+    let mut in_params = false;
+    for line in lines {
+        if in_params {
+            params_text.push_str(line);
+            params_text.push('\n');
+        } else if line == "---" {
+            in_params = true;
+        } else if let Some((k, v)) = line.split_once('=') {
+            kv.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    let get = |k: &str| -> Result<&String, SerializeError> {
+        kv.get(k)
+            .ok_or_else(|| SerializeError::Parse(format!("missing config key {k}")))
+    };
+    let parse_num = |k: &str| -> Result<usize, SerializeError> {
+        get(k)?
+            .parse()
+            .map_err(|_| SerializeError::Parse(format!("bad value for {k}")))
+    };
+    let parse_f = |k: &str| -> Result<f32, SerializeError> {
+        get(k)?
+            .parse()
+            .map_err(|_| SerializeError::Parse(format!("bad value for {k}")))
+    };
+
+    let features = FeatureConfig {
+        degree_bits: parse_num("degree_bits")?,
+        label_bits: parse_num("label_bits")?,
+        k_hops: parse_num("k_hops")? as u32,
+    };
+    let variant = match get("variant")?.as_str() {
+        "full" => Variant::Full,
+        "dual_only" => Variant::DualOnly,
+        "intra_only" => Variant::IntraOnly,
+        "no_extraction" => Variant::NoExtraction,
+        other => return Err(SerializeError::Parse(format!("unknown variant {other}"))),
+    };
+    let metric = match get("metric")?.as_str() {
+        "wasserstein" => DiscriminatorMetric::Wasserstein,
+        "euclidean" => DiscriminatorMetric::Euclidean,
+        "kl" => DiscriminatorMetric::KullbackLeibler,
+        "js" => DiscriminatorMetric::JensenShannon,
+        other => return Err(SerializeError::Parse(format!("unknown metric {other}"))),
+    };
+    let max_sub = match get("max_substructure_vertices")?.as_str() {
+        "none" => None,
+        s => Some(
+            s.parse()
+                .map_err(|_| SerializeError::Parse("bad max_substructure_vertices".into()))?,
+        ),
+    };
+    let seed: u64 = get("seed")?
+        .parse()
+        .map_err(|_| SerializeError::Parse("bad seed".into()))?;
+
+    let config = NeurScConfig {
+        features,
+        gin: GinConfig {
+            in_dim: features.dim(),
+            hidden_dim: parse_num("gin_hidden")?,
+            n_layers: parse_num("gin_layers")?,
+        },
+        attention: AttentionConfig {
+            in_dim: features.dim(),
+            hidden_dim: parse_num("attn_hidden")?,
+            n_layers: parse_num("attn_layers")?,
+            self_term: get("attn_self_term")? == "true",
+        },
+        head_hidden: parse_num("head_hidden")?,
+        disc_hidden: parse_num("disc_hidden")?,
+        filter: FilterConfig {
+            profile_radius: parse_num("profile_radius")? as u32,
+            refinement_rounds: parse_num("refinement_rounds")?,
+        },
+        variant,
+        metric,
+        beta: parse_f("beta")?,
+        lr_est: parse_f("lr_est")?,
+        lr_disc: parse_f("lr_disc")?,
+        batch_size: parse_num("batch_size")?,
+        iter_disc: parse_num("iter_disc")?,
+        pretrain_epochs: parse_num("pretrain_epochs")?,
+        adversarial_epochs: parse_num("adversarial_epochs")?,
+        clamp: parse_f("clamp")?,
+        sample_rate: parse_f("sample_rate")? as f64,
+        gb_connect_components: kv
+            .get("gb_connect_components")
+            .is_none_or(|v| v == "true"),
+        candidate_guided_correspondence: kv
+            .get("candidate_guided_correspondence")
+            .is_none_or(|v| v == "true"),
+        max_substructure_vertices: max_sub,
+        seed,
+    };
+
+    let mut model = NeurSc::new(config, seed);
+    let loaded = store_from_string(&params_text)?;
+    copy_values(&mut model.store, &loaded)?;
+    Ok(model)
+}
+
+/// Writes a model to a file.
+pub fn save_model(model: &NeurSc, path: &Path) -> Result<(), SerializeError> {
+    std::fs::write(path, model_to_string(model))?;
+    Ok(())
+}
+
+/// Loads a model from a file.
+pub fn load_model(path: &Path) -> Result<NeurSc, SerializeError> {
+    model_from_string(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neursc_graph::generate::erdos_renyi;
+    use neursc_graph::sample::{sample_query, QuerySampler};
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_estimates() {
+        let g = erdos_renyi(80, 200, 3, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
+        let model = NeurSc::new(NeurScConfig::small(), 11);
+        let before = model.estimate(&q, &g);
+        let text = model_to_string(&model);
+        let restored = model_from_string(&text).unwrap();
+        let after = restored.estimate(&q, &g);
+        assert_eq!(before, after);
+        assert_eq!(restored.config.seed, 11);
+    }
+
+    #[test]
+    fn roundtrip_preserves_variant_and_metric() {
+        use crate::config::{DiscriminatorMetric, Variant};
+        let cfg = NeurScConfig::small()
+            .with_variant(Variant::DualOnly)
+            .with_metric(DiscriminatorMetric::JensenShannon);
+        let model = NeurSc::new(cfg, 3);
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        assert_eq!(restored.config.variant, Variant::DualOnly);
+        assert_eq!(
+            restored.config.metric,
+            DiscriminatorMetric::JensenShannon
+        );
+        assert!(restored.disc.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(model_from_string("").is_err());
+        assert!(model_from_string("neursc-model v1\nvariant = alien\n---\n").is_err());
+        assert!(model_from_string("wrong\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = NeurSc::new(NeurScConfig::small(), 5);
+        let dir = std::env::temp_dir().join("neursc_core_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_model(&model, &path).unwrap();
+        let restored = load_model(&path).unwrap();
+        assert_eq!(model_to_string(&model), model_to_string(&restored));
+        std::fs::remove_file(&path).ok();
+    }
+}

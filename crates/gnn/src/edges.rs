@@ -1,0 +1,114 @@
+//! Edge-array representation for message passing.
+//!
+//! The segment kernels in [`neursc_nn::Tape`] consume parallel `src`/`dst`
+//! arrays of directed edges: a message flows from `src[j]` to `dst[j]`.
+//! An undirected graph contributes both directions.
+
+use neursc_graph::Graph;
+
+/// Parallel directed edge arrays.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Message sources.
+    pub src: Vec<u32>,
+    /// Message destinations (segment ids for aggregation).
+    pub dst: Vec<u32>,
+    /// Number of vertices (aggregation output rows).
+    pub n_vertices: usize,
+}
+
+impl EdgeList {
+    /// Both directions of every undirected edge of `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut src = Vec::with_capacity(2 * g.n_edges());
+        let mut dst = Vec::with_capacity(2 * g.n_edges());
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                src.push(v);
+                dst.push(u);
+            }
+        }
+        EdgeList {
+            src,
+            dst,
+            n_vertices: g.n_vertices(),
+        }
+    }
+
+    /// Builds from explicit directed pairs.
+    pub fn from_pairs(pairs: &[(u32, u32)], n_vertices: usize) -> Self {
+        EdgeList {
+            src: pairs.iter().map(|&(s, _)| s).collect(),
+            dst: pairs.iter().map(|&(_, d)| d).collect(),
+            n_vertices,
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Appends a self-loop `v → v` for every vertex (used when a layer
+    /// wants the self term inside its aggregation).
+    pub fn with_self_loops(mut self) -> Self {
+        for v in 0..self.n_vertices as u32 {
+            self.src.push(v);
+            self.dst.push(v);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neursc_graph::Graph;
+
+    #[test]
+    fn from_graph_doubles_edges() {
+        let g = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        let e = EdgeList::from_graph(&g);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.n_vertices, 3);
+        // dst side aggregates: vertex 1 receives from 0 and 2
+        let recv1: Vec<u32> = e
+            .src
+            .iter()
+            .zip(&e.dst)
+            .filter(|&(_, &d)| d == 1)
+            .map(|(&s, _)| s)
+            .collect();
+        assert_eq!(recv1, vec![0, 2]);
+    }
+
+    #[test]
+    fn self_loops_append_n_edges() {
+        let g = Graph::from_edges(3, &[0; 3], &[(0, 1)]).unwrap();
+        let e = EdgeList::from_graph(&g).with_self_loops();
+        assert_eq!(e.len(), 2 + 3);
+        assert_eq!(e.src[e.len() - 1], 2);
+        assert_eq!(e.dst[e.len() - 1], 2);
+    }
+
+    #[test]
+    fn from_pairs_preserves_direction() {
+        let e = EdgeList::from_pairs(&[(0, 1), (2, 1)], 3);
+        assert_eq!(e.src, vec![0, 2]);
+        assert_eq!(e.dst, vec![1, 1]);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_list() {
+        let g = Graph::from_edges(2, &[0, 0], &[]).unwrap();
+        let e = EdgeList::from_graph(&g);
+        assert!(e.is_empty());
+        assert_eq!(e.n_vertices, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Readout: permutation-invariant graph-level pooling (paper §5.4, Eq. 6).
+//!
+//! WEst uses *sum pooling* — injective on multisets of vertex
+//! representations (unlike mean/max), which is what preserves the 1-WL
+//! expressiveness bound through the graph-level readout.
+
+use neursc_nn::{Tape, Var};
+
+/// Sum pooling over rows: `[n, d] → [1, d]`.
+pub fn sum_readout(tape: &mut Tape, h: Var) -> Var {
+    tape.sum_rows(h)
+}
+
+/// Mean pooling over rows (used by some baselines): `[n, d] → [1, d]`.
+pub fn mean_readout(tape: &mut Tape, h: Var) -> Var {
+    tape.mean_rows(h)
+}
+
+/// The paper's prediction input: `Readout(H_q) ‖ Readout(H_{G_sub})`.
+pub fn paired_readout(tape: &mut Tape, h_q: Var, h_sub: Var) -> Var {
+    let rq = sum_readout(tape, h_q);
+    let rs = sum_readout(tape, h_sub);
+    tape.concat_cols(rq, rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neursc_nn::Tensor;
+
+    #[test]
+    fn sum_readout_sums_rows() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = sum_readout(&mut tape, h);
+        assert_eq!(tape.value(r).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_readout_averages() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = mean_readout(&mut tape, h);
+        assert_eq!(tape.value(r).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn paired_readout_concatenates() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let b = tape.constant(Tensor::from_rows(&[&[10.0]]));
+        let r = paired_readout(&mut tape, a, b);
+        assert_eq!(tape.value(r).data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn sum_readout_is_permutation_invariant() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_rows(&[&[1.0, 5.0], &[2.0, 6.0], &[3.0, 7.0]]));
+        let b = tape.constant(Tensor::from_rows(&[&[3.0, 7.0], &[1.0, 5.0], &[2.0, 6.0]]));
+        let ra = sum_readout(&mut tape, a);
+        let rb = sum_readout(&mut tape, b);
+        assert_eq!(tape.value(ra), tape.value(rb));
+    }
+}

@@ -1,0 +1,66 @@
+//! Row-wise softmax on the tape (shared by attention-style modules).
+
+use neursc_nn::{Tape, Tensor, Var};
+
+/// Numerically stable row softmax: subtracts a detached per-row maximum,
+/// exponentiates and normalizes each row to sum to 1.
+pub fn row_softmax(tape: &mut Tape, h: Var) -> Var {
+    let (n, d) = tape.value(h).shape();
+    let mut maxes = Tensor::zeros(n, 1);
+    for r in 0..n {
+        let m = tape
+            .value(h)
+            .row(r)
+            .iter()
+            .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        maxes.set(r, 0, if m.is_finite() { m } else { 0.0 });
+    }
+    let mc = tape.constant(maxes);
+    let shifted = tape.sub(h, mc); // column broadcast
+    let exps = tape.exp(shifted);
+    let ones = tape.constant(Tensor::ones(d, 1));
+    let rowsum = tape.matmul(exps, ones); // [n, 1]
+    let safe = tape.add_scalar(rowsum, 1e-12);
+    tape.div(exps, safe) // column broadcast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-50.0, 0.0, 50.0]]));
+        let s = row_softmax(&mut tape, h);
+        for r in 0..2 {
+            let sum: f32 = tape.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_distribution() {
+        let mut tape = Tape::new();
+        let h = tape.constant(Tensor::from_rows(&[&[7.0, 7.0, 7.0, 7.0]]));
+        let s = row_softmax(&mut tape, h);
+        for &v in tape.value(s).data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_flows() {
+        use neursc_nn::ParamStore;
+        let mut store = ParamStore::new();
+        let p = store.alloc(Tensor::from_rows(&[&[0.5, -0.5, 1.0]]));
+        let mut tape = Tape::new();
+        let h = tape.param(&store, p);
+        let s = row_softmax(&mut tape, h);
+        let w = tape.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let ws = tape.mul(s, w);
+        let loss = tape.sum(ws);
+        tape.backward(loss, &mut store);
+        assert!(store.grad(p).max_abs() > 0.0);
+    }
+}

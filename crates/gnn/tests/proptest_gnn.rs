@@ -1,0 +1,138 @@
+//! Property tests for the GNN layers: permutation equivariance of GIN,
+//! probability-simplex structure of the bipartite attention, and feature
+//! determinism under graph isomorphism.
+
+use neursc_gnn::{
+    init_features, AttentionConfig, BipartiteAttention, EdgeList, FeatureConfig, GinConfig,
+    GinStack,
+};
+use neursc_graph::{Graph, GraphBuilder};
+use neursc_nn::{ParamStore, Tape};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..(2 * n));
+        (labels, edges).prop_map(move |(ls, es)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, &l) in ls.iter().enumerate() {
+                b.set_label(v as u32, l);
+            }
+            for (u, v) in es {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn permute(g: &Graph, perm: &[u32]) -> Graph {
+    let mut b = GraphBuilder::new(g.n_vertices());
+    for v in g.vertices() {
+        b.set_label(perm[v as usize], g.label(v));
+    }
+    for e in g.edges() {
+        b.add_edge(perm[e.u as usize], perm[e.v as usize]).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GIN is permutation *equivariant*: running on a relabeled graph
+    /// permutes the vertex representations identically.
+    #[test]
+    fn gin_is_permutation_equivariant(g in arb_graph(10), seed in 0u64..100) {
+        let fcfg = FeatureConfig { degree_bits: 4, label_bits: 4, k_hops: 1 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let gin = GinStack::new(
+            &mut store,
+            GinConfig { in_dim: fcfg.dim(), hidden_dim: 8, n_layers: 2 },
+            &mut rng,
+        );
+
+        // A rotation permutation.
+        let n = g.n_vertices();
+        let perm: Vec<u32> = (0..n as u32).map(|v| (v + 1) % n as u32).collect();
+        let gp = permute(&g, &perm);
+
+        let run = |graph: &Graph| {
+            let mut tape = Tape::new();
+            let x = tape.constant(init_features(graph, &fcfg));
+            let h = gin.forward(&mut tape, &store, x, &EdgeList::from_graph(graph));
+            tape.value(h).clone()
+        };
+        let h = run(&g);
+        let hp = run(&gp);
+        for v in 0..n {
+            let pv = perm[v] as usize;
+            for c in 0..h.cols() {
+                let (a, b) = (h.get(v, c), hp.get(pv, c));
+                prop_assert!(
+                    (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                    "vertex {v} dim {c}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Attention outputs stay finite and bounded (sigmoid activation) on
+    /// arbitrary bipartite layouts.
+    #[test]
+    fn attention_outputs_bounded(
+        nq in 1usize..4,
+        ns in 1usize..6,
+        seed in 0u64..50,
+        edge_sel in proptest::collection::vec((0u32..4, 0u32..6), 1..10),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let net = BipartiteAttention::new(
+            &mut store,
+            AttentionConfig { in_dim: 6, hidden_dim: 5, n_layers: 2, self_term: false },
+            &mut rng,
+        );
+        let n = nq + ns;
+        let pairs: Vec<(u32, u32)> = edge_sel
+            .into_iter()
+            .filter(|&(q, s)| (q as usize) < nq && (s as usize) < ns)
+            .flat_map(|(q, s)| {
+                let d = (nq + s as usize) as u32;
+                [(q, d), (d, q)]
+            })
+            .collect();
+        let edges = EdgeList::from_pairs(&pairs, n);
+        let mut tape = Tape::new();
+        let x = tape.constant(neursc_nn::Tensor::from_vec(
+            n,
+            6,
+            (0..n * 6).map(|i| ((i as f32) * 0.37).sin()).collect(),
+        ));
+        let h = net.forward(&mut tape, &store, x, &edges);
+        for &v in tape.value(h).data() {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v), "sigmoid output {v} out of range");
+        }
+    }
+
+    /// Eq. 1 features are identical for isomorphic graphs up to the
+    /// vertex permutation (they depend only on local structure).
+    #[test]
+    fn features_are_permutation_equivariant(g in arb_graph(10)) {
+        let fcfg = FeatureConfig { degree_bits: 4, label_bits: 4, k_hops: 1 };
+        let n = g.n_vertices();
+        let perm: Vec<u32> = (0..n as u32).map(|v| (n as u32 - 1) - v).collect();
+        let gp = permute(&g, &perm);
+        let x = init_features(&g, &fcfg);
+        let xp = init_features(&gp, &fcfg);
+        for v in 0..n {
+            prop_assert_eq!(x.row(v), xp.row(perm[v] as usize), "vertex {}", v);
+        }
+    }
+}

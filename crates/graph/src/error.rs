@@ -1,0 +1,88 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, loading or saving graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph under construction.
+        n_vertices: usize,
+    },
+    /// A self-loop was supplied; the paper's setting is simple graphs.
+    SelfLoop(u32),
+    /// Parse failure in the `.graph` text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {n_vertices} vertices"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            n_vertices: 4,
+        };
+        assert!(e.to_string().contains("vertex id 9"));
+        assert!(e.to_string().contains("4 vertices"));
+
+        let e = GraphError::SelfLoop(3);
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

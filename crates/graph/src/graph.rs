@@ -1,0 +1,406 @@
+//! CSR-backed labeled undirected graph.
+//!
+//! The representation follows the usual database-engine layout: one
+//! `offsets` array of length `n + 1` and one `neighbors` array of length
+//! `2·m`, with each adjacency list sorted ascending so membership tests are
+//! binary searches and set intersections are merges. Labels live in a
+//! parallel `labels` array. The structure is immutable after construction —
+//! all NeurSC stages (filtering, extraction, GNN aggregation, exact
+//! counting) are read-only over the data graph, so immutability buys easy
+//! sharing across threads with zero synchronization.
+
+use crate::error::GraphError;
+use crate::types::{Edge, Label, VertexId};
+
+/// An immutable vertex-labeled undirected simple graph in CSR form.
+///
+/// Construct with [`GraphBuilder`] (or the convenience
+/// [`Graph::from_edges`]). Vertex ids are dense `0..n`.
+///
+/// ```
+/// use neursc_graph::Graph;
+/// // A labeled triangle plus a pendant vertex.
+/// let g = Graph::from_edges(4, &[0, 1, 1, 0], &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.n_vertices(), 4);
+/// assert_eq!(g.n_edges(), 4);
+/// assert_eq!(g.degree(2), 3);
+/// assert!(g.has_edge(0, 2));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2 * n_edges`.
+    neighbors: Vec<VertexId>,
+    /// `labels[v]` is the label of vertex `v`.
+    labels: Vec<Label>,
+    /// Number of distinct labels = `max(labels) + 1` (0 for empty graphs).
+    n_labels: usize,
+    /// Maximum degree over all vertices (0 for empty graphs).
+    max_degree: usize,
+}
+
+impl Graph {
+    /// Builds a graph directly from a label array and an edge list.
+    ///
+    /// Duplicate edges are deduplicated; self-loops are an error.
+    pub fn from_edges(
+        n: usize,
+        labels: &[Label],
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Graph, GraphError> {
+        assert_eq!(
+            labels.len(),
+            n,
+            "labels array must have exactly n entries (got {} for n = {n})",
+            labels.len()
+        );
+        let mut b = GraphBuilder::new(n);
+        for (v, &l) in labels.iter().enumerate() {
+            b.set_label(v as VertexId, l);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of distinct labels that appear (`max label + 1`, i.e. the
+    /// size of the dense label alphabet).
+    #[inline]
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// The full label array, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Degree `d(v)`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree over all vertices.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n_vertices() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.n_vertices() as f64
+        }
+    }
+
+    /// Sorted neighbor list `N(v)`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge membership test via binary search — `O(log d(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n_vertices() as VertexId
+    }
+
+    /// Iterator over all undirected edges in canonical `(u ≤ v)` order,
+    /// each reported once.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u <= v)
+                .map(move |&v| Edge { u, v })
+        })
+    }
+
+    /// Vertices carrying label `l`.
+    pub fn vertices_with_label(&self, l: Label) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices().filter(move |&v| self.label(v) == l)
+    }
+
+    /// Frequency of each label: `freq[l]` = number of vertices labeled `l`.
+    pub fn label_frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.n_labels];
+        for &l in &self.labels {
+            freq[l as usize] += 1;
+        }
+        freq
+    }
+
+    /// Validates internal CSR invariants; used by tests and asserted after
+    /// deserialization. Returns `true` iff all invariants hold:
+    /// offsets monotone, adjacency sorted and strictly increasing (simple
+    /// graph), symmetric, and no self-loops.
+    pub fn check_invariants(&self) -> bool {
+        if self.offsets.len() != self.n_vertices() + 1 {
+            return false;
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        for v in self.vertices() {
+            let ns = self.neighbors(v);
+            if ns.windows(2).any(|w| w[0] >= w[1]) {
+                return false; // unsorted or duplicate
+            }
+            if ns.binary_search(&v).is_ok() {
+                return false; // self-loop
+            }
+            for &u in ns {
+                if u as usize >= self.n_vertices() || self.neighbors(u).binary_search(&v).is_err()
+                {
+                    return false; // dangling or asymmetric
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Labels default to `0`; edges are accumulated and deduplicated at
+/// [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` vertices, all labeled `0`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            labels: vec![0; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices declared so far.
+    pub fn n_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Appends a new vertex with the given label, returning its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        self.labels.push(label);
+        (self.labels.len() - 1) as VertexId
+    }
+
+    /// Sets the label of an existing vertex.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn set_label(&mut self, v: VertexId, label: Label) {
+        self.labels[v as usize] = label;
+    }
+
+    /// Records an undirected edge. Duplicates are tolerated (removed at
+    /// build time); self-loops and out-of-range endpoints are errors.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let n = self.labels.len();
+        for &x in &[u, v] {
+            if x as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: x as u64,
+                    n_vertices: n,
+                });
+            }
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Finalizes into an immutable CSR [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.labels.len();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; 2 * self.edges.len()];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were inserted in sorted (u, v) order, so each list is already
+        // sorted for the "forward" half, but the mirrored entries interleave;
+        // sort each list to restore the invariant.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let n_labels = self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        let g = Graph {
+            offsets,
+            neighbors,
+            labels: self.labels,
+            n_labels,
+            max_degree,
+        };
+        debug_assert!(g.check_invariants());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_tail() -> Graph {
+        Graph::from_edges(4, &[0, 1, 1, 0], &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_with_tail();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.n_labels(), 2);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_with_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = Graph::from_edges(2, &[0, 0], &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop(1))));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.n_labels(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle_with_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&Edge::new(0, 1)));
+        assert!(edges.contains(&Edge::new(2, 3)));
+        // canonical order
+        assert!(edges.iter().all(|e| e.u <= e.v));
+    }
+
+    #[test]
+    fn label_frequencies() {
+        let g = triangle_with_tail();
+        assert_eq!(g.label_frequencies(), vec![2, 2]);
+    }
+
+    #[test]
+    fn vertices_with_label_filters() {
+        let g = triangle_with_tail();
+        let vs: Vec<_> = g.vertices_with_label(1).collect();
+        assert_eq!(vs, vec![1, 2]);
+    }
+
+    #[test]
+    fn builder_add_vertex_grows_graph() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_vertex(7);
+        let c = b.add_vertex(7);
+        b.add_edge(a, c).unwrap();
+        let g = b.build();
+        assert_eq!(g.n_vertices(), 2);
+        assert_eq!(g.n_labels(), 8);
+        assert!(g.has_edge(a, c));
+    }
+
+    #[test]
+    fn has_edge_checks_smaller_degree_side() {
+        // star: hub 0 with many leaves; has_edge must work in both directions
+        let n = 50;
+        let labels = vec![0; n];
+        let edges: Vec<_> = (1..n as VertexId).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(n, &labels, &edges).unwrap();
+        assert!(g.has_edge(0, 49));
+        assert!(g.has_edge(49, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+}

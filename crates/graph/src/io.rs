@@ -1,0 +1,231 @@
+//! The `.graph` text format used by the paper's datasets.
+//!
+//! The seven data graphs of the evaluation (Table 2) are distributed in the
+//! format of Sun & Luo's in-memory subgraph-matching study \[89\] (the
+//! RapidsAtHKUST/SubgraphMatching repository the paper takes its ground
+//! truth from):
+//!
+//! ```text
+//! t <n_vertices> <n_edges>
+//! v <id> <label> <degree>
+//! ...
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! The declared degree is redundant (recomputable from the edge list); the
+//! parser validates it when present and tolerates its absence.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::types::{Label, VertexId};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Parses a graph from `.graph`-format text.
+pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
+    let mut n_declared: Option<usize> = None;
+    let mut m_declared: Option<usize> = None;
+    let mut labels: Vec<Label> = Vec::new();
+    let mut declared_degrees: Vec<Option<usize>> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let kind = tok.next().unwrap();
+        let parse_num = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            s.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: format!("missing {what}"),
+            })?
+            .parse::<u64>()
+            .map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid {what}"),
+            })
+        };
+        match kind {
+            "t" => {
+                n_declared = Some(parse_num(tok.next(), "vertex count")? as usize);
+                m_declared = Some(parse_num(tok.next(), "edge count")? as usize);
+                labels = vec![0; n_declared.unwrap()];
+                declared_degrees = vec![None; n_declared.unwrap()];
+            }
+            "v" => {
+                let id = parse_num(tok.next(), "vertex id")? as usize;
+                let label = parse_num(tok.next(), "label")? as Label;
+                let n = labels.len();
+                if id >= n {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!("vertex id {id} exceeds declared count {n}"),
+                    });
+                }
+                labels[id] = label;
+                if let Some(d) = tok.next() {
+                    let d = d.parse::<usize>().map_err(|_| GraphError::Parse {
+                        line: line_no,
+                        message: "invalid degree".into(),
+                    })?;
+                    declared_degrees[id] = Some(d);
+                }
+            }
+            "e" => {
+                let u = parse_num(tok.next(), "edge endpoint")? as VertexId;
+                let v = parse_num(tok.next(), "edge endpoint")? as VertexId;
+                edges.push((u, v));
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("unknown record type {other:?}"),
+                });
+            }
+        }
+    }
+
+    let n = n_declared.ok_or(GraphError::Parse {
+        line: 1,
+        message: "missing 't' header".into(),
+    })?;
+    let mut b = GraphBuilder::new(n);
+    for (i, &l) in labels.iter().enumerate() {
+        b.set_label(i as VertexId, l);
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    let g = b.build();
+    if let Some(m) = m_declared {
+        if g.n_edges() != m {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("header declares {m} edges, found {}", g.n_edges()),
+            });
+        }
+    }
+    for (v, d) in declared_degrees.iter().enumerate() {
+        if let Some(d) = d {
+            if g.degree(v as VertexId) != *d {
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: format!(
+                        "vertex {v} declares degree {d}, actual {}",
+                        g.degree(v as VertexId)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Serializes a graph to `.graph`-format text.
+pub fn format_graph(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 * (g.n_vertices() + g.n_edges()));
+    out.push_str(&format!("t {} {}\n", g.n_vertices(), g.n_edges()));
+    for v in g.vertices() {
+        out.push_str(&format!("v {} {} {}\n", v, g.label(v), g.degree(v)));
+    }
+    for e in g.edges() {
+        out.push_str(&format!("e {} {}\n", e.u, e.v));
+    }
+    out
+}
+
+/// Loads a graph from a `.graph` file.
+pub fn load_graph(path: &Path) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse_graph(&text)
+}
+
+/// Saves a graph to a `.graph` file.
+pub fn save_graph(g: &Graph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(format_graph(g).as_bytes())?;
+    Ok(())
+}
+
+use std::io::Read;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "t 4 4\nv 0 0 2\nv 1 1 2\nv 2 1 3\nv 3 0 1\ne 0 1\ne 1 2\ne 0 2\ne 2 3\n";
+
+    #[test]
+    fn parse_roundtrip() {
+        let g = parse_graph(SAMPLE).unwrap();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.label(2), 1);
+        let text = format_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("# header comment\n\n% another\n{SAMPLE}");
+        assert!(parse_graph(&text).is_ok());
+    }
+
+    #[test]
+    fn degree_mismatch_is_rejected() {
+        let bad = "t 2 1\nv 0 0 5\nv 1 0 1\ne 0 1\n";
+        assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_rejected() {
+        let bad = "t 2 3\nv 0 0 1\nv 1 0 1\ne 0 1\n";
+        assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert!(parse_graph("v 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn unknown_record_is_rejected() {
+        let bad = "t 1 0\nv 0 0 0\nx 1 2\n";
+        let err = parse_graph(bad).unwrap_err();
+        assert!(err.to_string().contains("unknown record"));
+    }
+
+    #[test]
+    fn vertex_id_out_of_declared_range_rejected() {
+        let bad = "t 1 0\nv 5 0 0\n";
+        assert!(parse_graph(bad).is_err());
+    }
+
+    #[test]
+    fn degree_field_optional() {
+        let ok = "t 2 1\nv 0 3\nv 1 4\ne 0 1\n";
+        let g = parse_graph(ok).unwrap();
+        assert_eq!(g.label(1), 4);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = parse_graph(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("neursc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.graph");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

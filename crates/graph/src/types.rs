@@ -1,0 +1,79 @@
+//! Fundamental identifier types shared across the workspace.
+//!
+//! Vertices and labels are plain `u32` indices under the hood — graphs in the
+//! paper's evaluation reach ~1.1M vertices and 307 labels, so 32 bits are
+//! ample while halving the memory traffic of the CSR arrays relative to
+//! `usize` on 64-bit targets (a Rust-performance-book-style choice: smaller
+//! integers in the hot arrays).
+
+/// Identifier of a vertex within a single [`crate::Graph`].
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+pub type VertexId = u32;
+
+/// A vertex label drawn from the shared label alphabet `L`.
+///
+/// Query graph and data graph share one label mapping function `f_l`
+/// (paper §2.1), so a `Label` value is comparable across graphs.
+pub type Label = u32;
+
+/// An undirected edge as an unordered pair of endpoints.
+///
+/// The canonical form keeps `min ≤ max`, which is what [`Edge::new`]
+/// produces; two `Edge` values compare equal iff they connect the same pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+impl Edge {
+    /// Canonicalizes `(a, b)` into an unordered edge.
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Returns the endpoint different from `x`, or `None` if `x` is not an
+    /// endpoint. For a self-loop `(x, x)` the other endpoint is `x` itself.
+    pub fn other(&self, x: VertexId) -> Option<VertexId> {
+        if x == self.u {
+            Some(self.v)
+        } else if x == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalizes_order() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(5, 2).u, 2);
+        assert_eq!(Edge::new(5, 2).v, 5);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(1, 7);
+        assert_eq!(e.other(1), Some(7));
+        assert_eq!(e.other(7), Some(1));
+        assert_eq!(e.other(3), None);
+    }
+
+    #[test]
+    fn self_loop_other_is_self() {
+        let e = Edge::new(4, 4);
+        assert_eq!(e.other(4), Some(4));
+    }
+}

@@ -1,0 +1,39 @@
+//! Round-trip property tests for the `.graph` text format.
+
+use neursc_graph::io::{format_graph, parse_graph};
+use neursc_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..25).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..300, n);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n));
+        (labels, edges).prop_map(move |(ls, es)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, &l) in ls.iter().enumerate() {
+                b.set_label(v as u32, l);
+            }
+            for (u, v) in es {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn format_parse_roundtrip(g in arb_graph()) {
+        let text = format_graph(&g);
+        let parsed = parse_graph(&text).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn parsed_graphs_satisfy_invariants(g in arb_graph()) {
+        let parsed = parse_graph(&format_graph(&g)).unwrap();
+        prop_assert!(parsed.check_invariants());
+    }
+}

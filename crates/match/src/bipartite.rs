@@ -1,0 +1,198 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+//!
+//! Global refinement (paper §4(1)) asks, for each candidate pair `(u, v)`,
+//! whether the bipartite graph between `N(u)` and `N(v)` admits a
+//! *semi-perfect matching* — a matching saturating the query side. That is
+//! a maximum-matching query; Hopcroft–Karp answers it in
+//! `O(E·√V)`, which matters because it runs once per surviving candidate
+//! pair per refinement round.
+
+/// A bipartite graph given as left-side adjacency lists over right-side
+/// indices `0..n_right`.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    /// `adj[l]` lists the right vertices adjacent to left vertex `l`.
+    pub adj: Vec<Vec<usize>>,
+    /// Number of right-side vertices.
+    pub n_right: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph with the given side sizes.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteGraph {
+            adj: vec![Vec::new(); n_left],
+            n_right,
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        debug_assert!(l < self.adj.len() && r < self.n_right);
+        self.adj[l].push(r);
+    }
+
+    /// Number of left-side vertices.
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum matching; returns, for each left vertex, its matched
+/// right vertex (or `None`).
+pub fn max_matching(g: &BipartiteGraph) -> Vec<Option<usize>> {
+    let n_left = g.n_left();
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; g.n_right];
+    let mut dist = vec![0u32; n_left];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS phase: layer free left vertices.
+        queue.clear();
+        const INF: u32 = u32::MAX;
+        let mut found_augmenting = false;
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        while let Some(l) = queue.pop_front() {
+            for &r in &g.adj[l] {
+                let l2 = match_r[r];
+                if l2 == NIL {
+                    found_augmenting = true;
+                } else if dist[l2] == INF {
+                    dist[l2] = dist[l] + 1;
+                    queue.push_back(l2);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint augmenting paths along layers.
+        fn dfs(
+            l: usize,
+            g: &BipartiteGraph,
+            dist: &mut [u32],
+            match_l: &mut [usize],
+            match_r: &mut [usize],
+        ) -> bool {
+            for i in 0..g.adj[l].len() {
+                let r = g.adj[l][i];
+                let l2 = match_r[r];
+                if l2 == NIL
+                    || (dist[l2] == dist[l] + 1 && dfs(l2, g, dist, match_l, match_r))
+                {
+                    match_l[l] = r;
+                    match_r[r] = l;
+                    return true;
+                }
+            }
+            dist[l] = u32::MAX;
+            false
+        }
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dfs(l, g, &mut dist, &mut match_l, &mut match_r);
+            }
+        }
+    }
+    match_l
+        .into_iter()
+        .map(|r| if r == NIL { None } else { Some(r) })
+        .collect()
+}
+
+/// Whether a matching saturating the *entire left side* exists — the
+/// semi-perfect matching test of the paper's global refinement.
+pub fn has_left_saturating_matching(g: &BipartiteGraph) -> bool {
+    max_matching(g).iter().all(|m| m.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for i in 0..3 {
+            g.add_edge(i, i);
+        }
+        let m = max_matching(&g);
+        assert_eq!(m, vec![Some(0), Some(1), Some(2)]);
+        assert!(has_left_saturating_matching(&g));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0-{r0}, l1-{r0, r1}: greedy could block l0; HK must augment.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(0, 0);
+        assert!(has_left_saturating_matching(&g));
+    }
+
+    #[test]
+    fn hall_violation_detected() {
+        // Three left vertices all confined to two right vertices.
+        let mut g = BipartiteGraph::new(3, 2);
+        for l in 0..3 {
+            g.add_edge(l, 0);
+            g.add_edge(l, 1);
+        }
+        assert!(!has_left_saturating_matching(&g));
+        let matched = max_matching(&g).iter().filter(|m| m.is_some()).count();
+        assert_eq!(matched, 2);
+    }
+
+    #[test]
+    fn isolated_left_vertex_blocks_saturation() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        assert!(!has_left_saturating_matching(&g));
+    }
+
+    #[test]
+    fn empty_left_side_is_trivially_saturated() {
+        let g = BipartiteGraph::new(0, 5);
+        assert!(has_left_saturating_matching(&g));
+    }
+
+    #[test]
+    fn matching_is_injective() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                g.add_edge(l, r);
+            }
+        }
+        let m = max_matching(&g);
+        let mut rights: Vec<_> = m.iter().map(|x| x.unwrap()).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(rights.len(), 4);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // A chain forcing repeated re-matching: l_i connects to r_i and
+        // r_{i+1}, last left connects only to r_0. Perfect matching exists.
+        let n = 6;
+        let mut g = BipartiteGraph::new(n, n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i);
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(n - 1, 0);
+        assert!(has_left_saturating_matching(&g));
+    }
+}

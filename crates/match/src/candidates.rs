@@ -1,0 +1,178 @@
+//! Candidate vertex sets `CS(u)` (Definition 2) and local pruning.
+//!
+//! A *complete candidate vertex set* must contain every data vertex that
+//! participates in any match — filtering may over-approximate but never
+//! under-approximate. Local pruning admits `v` into `CS(u)` iff
+//! `f_l(v) = f_l(u)`, `d(v) ≥ d(u)`, and profile(u) ⊑ profile(v).
+
+use crate::profile::{all_profiles, subsumes};
+use neursc_graph::types::VertexId;
+use neursc_graph::Graph;
+
+/// Candidate sets for every query vertex: `sets[u]` is the sorted `CS(u)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSets {
+    /// Per-query-vertex sorted candidate lists.
+    pub sets: Vec<Vec<VertexId>>,
+}
+
+impl CandidateSets {
+    /// `CS(u)` for query vertex `u`.
+    pub fn get(&self, u: VertexId) -> &[VertexId] {
+        &self.sets[u as usize]
+    }
+
+    /// Membership test (`O(log |CS(u)|)`).
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.sets[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// `CS(q) = ∪_u CS(u)`, sorted and deduplicated.
+    pub fn union(&self) -> Vec<VertexId> {
+        let mut all: Vec<VertexId> = self.sets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Σ_u |CS(u)| — the filtering-power metric of \[89\].
+    pub fn total_size(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether any query vertex has an empty candidate set (then the count
+    /// is exactly 0 and NeurSC short-circuits — Algorithm 1).
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(|s| s.is_empty())
+    }
+
+    /// NeurSC's early-termination test (paper §4): estimation can stop when
+    /// some `CS(u)` is empty or `|∪ CS(u)| < |V(q)|`.
+    pub fn is_trivially_zero(&self) -> bool {
+        self.any_empty() || self.union().len() < self.sets.len()
+    }
+}
+
+/// Local pruning: builds `CS(u)` for all query vertices from label, degree
+/// and radius-`r` profile tests. `O(|V(q)|·|V(G)|)` pair tests but each is
+/// cheap and label-partitioned.
+pub fn local_pruning(q: &Graph, g: &Graph, r: u32) -> CandidateSets {
+    let q_profiles = all_profiles(q, r);
+    let g_profiles = all_profiles(g, r);
+
+    // Partition data vertices by label once.
+    let n_labels = g.n_labels().max(q.n_labels());
+    let mut by_label: Vec<Vec<VertexId>> = vec![Vec::new(); n_labels];
+    for v in g.vertices() {
+        by_label[g.label(v) as usize].push(v);
+    }
+
+    let sets = q
+        .vertices()
+        .map(|u| {
+            let lu = q.label(u) as usize;
+            if lu >= by_label.len() {
+                return Vec::new();
+            }
+            by_label[lu]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    g.degree(v) >= q.degree(u)
+                        && subsumes(&g_profiles[v as usize], &q_profiles[u as usize])
+                })
+                .collect()
+        })
+        .collect();
+    CandidateSets { sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{paper_data_graph, paper_query_graph};
+
+    #[test]
+    fn paper_example_local_pruning() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        assert_eq!(cs.get(0), &[0]); // CS(u1) = {v1}
+        assert_eq!(cs.get(1), &[1, 2, 3]); // CS(u2) = {v2, v3, v4}
+        assert_eq!(cs.get(2), &[4, 5, 6, 7, 8]); // C vertices with a D neighbor
+        assert_eq!(cs.get(3), &[9, 10]); // CS(u4) = {v10, v11}
+    }
+
+    #[test]
+    fn completeness_contains_known_match() {
+        // The match {(u1,v1),(u2,v4),(u3,v5),(u4,v10)} must survive.
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        for (u, v) in [(0u32, 0u32), (1, 3), (2, 4), (3, 9)] {
+            assert!(cs.contains(u, v), "candidate ({u},{v}) missing");
+        }
+    }
+
+    #[test]
+    fn union_and_sizes() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        assert_eq!(cs.total_size(), 1 + 3 + 5 + 2);
+        assert_eq!(cs.union(), vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!(!cs.any_empty());
+        assert!(!cs.is_trivially_zero());
+    }
+
+    #[test]
+    fn missing_label_empties_candidate_set() {
+        let g = paper_data_graph();
+        // Query with a label (7) absent from the data graph.
+        let q = Graph::from_edges(2, &[0, 7], &[(0, 1)]).unwrap();
+        let cs = local_pruning(&q, &g, 1);
+        assert!(cs.get(1).is_empty());
+        assert!(cs.any_empty());
+        assert!(cs.is_trivially_zero());
+    }
+
+    #[test]
+    fn degree_filter_applies() {
+        // Star query: center needs degree ≥ 3.
+        let g = Graph::from_edges(
+            6,
+            &[0, 1, 1, 1, 0, 1],
+            &[(0, 1), (0, 2), (0, 3), (4, 5)],
+        )
+        .unwrap();
+        let q = Graph::from_edges(4, &[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let cs = local_pruning(&q, &g, 1);
+        assert_eq!(cs.get(0), &[0]); // vertex 4 (label 0, degree 1) pruned
+    }
+
+    #[test]
+    fn radius2_prunes_at_least_as_much_as_radius1() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs1 = local_pruning(&q, &g, 1);
+        let cs2 = local_pruning(&q, &g, 2);
+        for u in q.vertices() {
+            for &v in cs2.get(u) {
+                assert!(cs1.contains(u, v), "r=2 admitted ({u},{v}) that r=1 pruned");
+            }
+            assert!(cs2.get(u).len() <= cs1.get(u).len());
+        }
+    }
+
+    #[test]
+    fn is_trivially_zero_when_union_too_small() {
+        // Query larger than the number of distinct candidates available.
+        let g = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q =
+            Graph::from_edges(4, &[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cs = local_pruning(&q, &g, 1);
+        assert!(cs.is_trivially_zero());
+    }
+
+    use neursc_graph::Graph;
+}

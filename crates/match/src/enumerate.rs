@@ -1,0 +1,438 @@
+//! Backtracking subgraph-isomorphism counting (ground truth).
+//!
+//! Counts the injective, label-preserving, edge-preserving mappings of
+//! Definition 1 — *embeddings*, which is what the paper's Figure 1 example
+//! counts ("there are three subgraph matches of q in G"). The search
+//! carries a deterministic expansion budget which plays the role of the
+//! paper's 30-minute GraphQL cutoff: a query whose exact count exceeds the
+//! budget is reported [`CountOutcome::BudgetExhausted`] and excluded from
+//! workloads, mirroring "query graphs whose ground-truth counts can be
+//! computed within 30 minutes are selected".
+
+use crate::candidates::CandidateSets;
+use crate::filter::{filter_candidates, FilterConfig};
+use crate::ordering::{build_order, MatchingOrder};
+use neursc_graph::types::VertexId;
+use neursc_graph::Graph;
+
+/// Whether the search ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountOutcome {
+    /// The count is exact.
+    Complete,
+    /// The expansion budget ran out; `count` is a partial lower bound.
+    BudgetExhausted,
+}
+
+/// Result of a counting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountResult {
+    /// Number of embeddings found (exact iff `outcome == Complete`).
+    pub count: u64,
+    /// Completion status.
+    pub outcome: CountOutcome,
+    /// Candidate-extension attempts performed (the budget unit).
+    pub expansions: u64,
+}
+
+impl CountResult {
+    /// `Some(count)` iff the search completed.
+    pub fn exact(&self) -> Option<u64> {
+        match self.outcome {
+            CountOutcome::Complete => Some(self.count),
+            CountOutcome::BudgetExhausted => None,
+        }
+    }
+}
+
+/// Counts embeddings of `q` in `g` with default filtering and the given
+/// expansion budget.
+pub fn count_embeddings(q: &Graph, g: &Graph, budget: u64) -> CountResult {
+    let cs = filter_candidates(q, g, &FilterConfig::default());
+    count_with_candidates(q, g, &cs, budget)
+}
+
+/// Counts embeddings using precomputed candidate sets.
+pub fn count_with_candidates(
+    q: &Graph,
+    g: &Graph,
+    cs: &CandidateSets,
+    budget: u64,
+) -> CountResult {
+    if q.n_vertices() == 0 {
+        // The empty query has exactly one (empty) embedding.
+        return CountResult {
+            count: 1,
+            outcome: CountOutcome::Complete,
+            expansions: 0,
+        };
+    }
+    if cs.any_empty() {
+        return CountResult {
+            count: 0,
+            outcome: CountOutcome::Complete,
+            expansions: 0,
+        };
+    }
+    let order = build_order(q, cs);
+    let mut st = SearchState {
+        g,
+        cs,
+        order: &order,
+        used: vec![false; g.n_vertices()],
+        mapping: vec![0; q.n_vertices()],
+        count: 0,
+        expansions: 0,
+        budget,
+        exhausted: false,
+    };
+    st.recurse(0);
+    CountResult {
+        count: st.count,
+        outcome: if st.exhausted {
+            CountOutcome::BudgetExhausted
+        } else {
+            CountOutcome::Complete
+        },
+        expansions: st.expansions,
+    }
+}
+
+struct SearchState<'a> {
+    g: &'a Graph,
+    cs: &'a CandidateSets,
+    order: &'a MatchingOrder,
+    used: Vec<bool>,
+    /// `mapping[depth]` = data vertex matched at that depth.
+    mapping: Vec<VertexId>,
+    count: u64,
+    expansions: u64,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl SearchState<'_> {
+    fn recurse(&mut self, depth: usize) {
+        if depth == self.order.order.len() {
+            self.count += 1;
+            return;
+        }
+        let u = self.order.order[depth];
+        // Iterate the smallest available candidate source: either CS(u) or
+        // the neighborhood of one matched backward neighbor.
+        let backward = &self.order.backward[depth];
+        let from_neighbors = backward
+            .iter()
+            .map(|&j| self.mapping[j])
+            .min_by_key(|&v| self.g.degree(v));
+        let cands: &[VertexId] = match from_neighbors {
+            Some(v) if self.g.degree(v) < self.cs.get(u).len() => self.g.neighbors(v),
+            _ => self.cs.get(u),
+        };
+        let via_neighbors =
+            matches!(from_neighbors, Some(v) if self.g.degree(v) < self.cs.get(u).len());
+
+        for &v in cands {
+            if self.exhausted {
+                return;
+            }
+            self.expansions += 1;
+            if self.expansions > self.budget {
+                self.exhausted = true;
+                return;
+            }
+            if self.used[v as usize] {
+                continue;
+            }
+            if via_neighbors && !self.cs.contains(u, v) {
+                continue;
+            }
+            // Edge consistency with every backward neighbor.
+            let ok = backward
+                .iter()
+                .all(|&j| self.g.has_edge(v, self.mapping[j]));
+            if !ok {
+                continue;
+            }
+            self.used[v as usize] = true;
+            self.mapping[depth] = v;
+            self.recurse(depth + 1);
+            self.used[v as usize] = false;
+        }
+    }
+}
+
+/// Brute-force embedding counter for testing: tries every injective
+/// label-preserving assignment. Exponential — only for tiny graphs.
+pub fn brute_force_count(q: &Graph, g: &Graph) -> u64 {
+    fn rec(q: &Graph, g: &Graph, depth: usize, used: &mut [bool], map: &mut [VertexId]) -> u64 {
+        if depth == q.n_vertices() {
+            return 1;
+        }
+        let u = depth as VertexId;
+        let mut total = 0;
+        for v in g.vertices() {
+            if used[v as usize] || g.label(v) != q.label(u) {
+                continue;
+            }
+            let ok = q
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| (w as usize) < depth)
+                .all(|&w| g.has_edge(v, map[w as usize]));
+            if !ok {
+                continue;
+            }
+            used[v as usize] = true;
+            map[depth] = v;
+            total += rec(q, g, depth + 1, used, map);
+            used[v as usize] = false;
+        }
+        total
+    }
+    let mut used = vec![false; g.n_vertices()];
+    let mut map = vec![0; q.n_vertices()];
+    rec(q, g, 0, &mut used, &mut map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{paper_data_graph, paper_query_graph};
+    use neursc_graph::Graph;
+
+    #[test]
+    fn paper_example_has_three_matches() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let r = count_embeddings(&q, &g, 1_000_000);
+        assert_eq!(r.exact(), Some(3));
+        assert_eq!(brute_force_count(&q, &g), 3);
+    }
+
+    #[test]
+    fn triangle_in_k4_counts_labelled_embeddings() {
+        // K4 unlabeled: each unordered triangle has 3! = 6 embeddings;
+        // C(4,3) = 4 triangles → 24 embeddings.
+        let k4 = Graph::from_edges(
+            4,
+            &[0; 4],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let tri = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let r = count_embeddings(&tri, &k4, 1_000_000);
+        assert_eq!(r.exact(), Some(24));
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let g = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        // Edges with label pattern (0,1): (0,1), (2,1), (2,3) → 3 embeddings.
+        let r = count_embeddings(&q, &g, 1_000);
+        assert_eq!(r.exact(), Some(3));
+    }
+
+    #[test]
+    fn zero_matches_when_label_absent() {
+        let g = paper_data_graph();
+        let q = Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
+        let r = count_embeddings(&q, &g, 1_000);
+        assert_eq!(r.exact(), Some(0));
+        assert_eq!(r.expansions, 0); // short-circuited by empty CS
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Dense unlabeled graph with a permissive query → huge count.
+        let n = 12;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n, &vec![0; n], &edges).unwrap();
+        let q = Graph::from_edges(4, &[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = count_embeddings(&q, &g, 50);
+        assert_eq!(r.outcome, CountOutcome::BudgetExhausted);
+        assert!(r.exact().is_none());
+        assert!(r.expansions >= 50);
+    }
+
+    #[test]
+    fn empty_query_has_one_embedding() {
+        let g = paper_data_graph();
+        let q = Graph::from_edges(0, &[], &[]).unwrap();
+        assert_eq!(count_embeddings(&q, &g, 10).exact(), Some(1));
+    }
+
+    #[test]
+    fn single_vertex_query_counts_label_frequency() {
+        let g = paper_data_graph();
+        let q = Graph::from_edges(1, &[2], &[]).unwrap(); // label C
+        assert_eq!(count_embeddings(&q, &g, 1_000).exact(), Some(5));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use neursc_graph::generate::erdos_renyi;
+        use neursc_graph::sample::{sample_query, QuerySampler};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for seed in 0..6u64 {
+            let g = erdos_renyi(20, 45, 3, seed);
+            if let Some(q) = sample_query(&g, &QuerySampler::induced(4), &mut rng) {
+                let fast = count_embeddings(&q, &g, 10_000_000).exact().unwrap();
+                let slow = brute_force_count(&q, &g);
+                assert_eq!(fast, slow, "mismatch on seed {seed}");
+                assert!(fast >= 1, "sampled query must occur at least once");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_query_counts_product_like_embeddings() {
+        // Query: two independent edges; data: path of 4 distinctly labeled.
+        let g = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (2, 3)]).unwrap();
+        let fast = count_embeddings(&q, &g, 100_000).exact().unwrap();
+        assert_eq!(fast, brute_force_count(&q, &g));
+    }
+}
+
+/// Collects the set of data vertices participating in **any** embedding of
+/// `q` (within the expansion budget). This is the vertex set of the
+/// paper's "perfect substructure" oracle (`NeurSC w/ PS`, Fig. 11):
+/// ground-truth matches define exactly which data vertices matter.
+///
+/// Returns `None` if the budget is exhausted before the enumeration
+/// completes (the set would be incomplete).
+pub fn matched_vertex_set(q: &Graph, g: &Graph, budget: u64) -> Option<Vec<VertexId>> {
+    let cs = filter_candidates(q, g, &FilterConfig::default());
+    if q.n_vertices() == 0 || cs.any_empty() {
+        return Some(Vec::new());
+    }
+    let order = build_order(q, &cs);
+    struct St<'a> {
+        g: &'a Graph,
+        cs: &'a CandidateSets,
+        order: &'a MatchingOrder,
+        used: Vec<bool>,
+        mapping: Vec<VertexId>,
+        hit: Vec<bool>,
+        expansions: u64,
+        budget: u64,
+        exhausted: bool,
+    }
+    impl St<'_> {
+        fn recurse(&mut self, depth: usize) {
+            if depth == self.order.order.len() {
+                for &v in &self.mapping {
+                    self.hit[v as usize] = true;
+                }
+                return;
+            }
+            let u = self.order.order[depth];
+            for i in 0..self.cs.get(u).len() {
+                if self.exhausted {
+                    return;
+                }
+                self.expansions += 1;
+                if self.expansions > self.budget {
+                    self.exhausted = true;
+                    return;
+                }
+                let v = self.cs.get(u)[i];
+                if self.used[v as usize] {
+                    continue;
+                }
+                let ok = self.order.backward[depth]
+                    .iter()
+                    .all(|&j| self.g.has_edge(v, self.mapping[j]));
+                if !ok {
+                    continue;
+                }
+                self.used[v as usize] = true;
+                self.mapping[depth] = v;
+                self.recurse(depth + 1);
+                self.used[v as usize] = false;
+            }
+        }
+    }
+    let mut st = St {
+        g,
+        cs: &cs,
+        order: &order,
+        used: vec![false; g.n_vertices()],
+        mapping: vec![0; q.n_vertices()],
+        hit: vec![false; g.n_vertices()],
+        expansions: 0,
+        budget,
+        exhausted: false,
+    };
+    st.recurse(0);
+    if st.exhausted {
+        return None;
+    }
+    Some(
+        (0..g.n_vertices() as VertexId)
+            .filter(|&v| st.hit[v as usize])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod matched_set_tests {
+    use super::*;
+    use crate::profile::{paper_data_graph, paper_query_graph};
+
+    #[test]
+    fn paper_example_matched_vertices() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        // The 3 matches use v1, v4, {v5,v6}, {v10,v11} = ids {0,3,4,5,9,10}.
+        let set = matched_vertex_set(&q, &g, 1_000_000).unwrap();
+        assert_eq!(set, vec![0, 3, 4, 5, 9, 10]);
+    }
+
+    #[test]
+    fn zero_match_queries_give_empty_set() {
+        let g = paper_data_graph();
+        let q = neursc_graph::Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
+        assert_eq!(matched_vertex_set(&q, &g, 1_000).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let n = 12;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        let g = neursc_graph::Graph::from_edges(n, &vec![0; n], &edges).unwrap();
+        let q = neursc_graph::Graph::from_edges(4, &[0; 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(matched_vertex_set(&q, &g, 10).is_none());
+    }
+
+    #[test]
+    fn matched_set_is_subset_of_candidates() {
+        use neursc_graph::generate::erdos_renyi;
+        use neursc_graph::sample::{sample_query, QuerySampler};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = erdos_renyi(40, 120, 3, 1);
+        if let Some(q) = sample_query(&g, &QuerySampler::induced(4), &mut rng) {
+            let set = matched_vertex_set(&q, &g, 100_000_000).unwrap();
+            assert!(!set.is_empty()); // induced sampled query matches itself
+            let cs = filter_candidates(&q, &g, &FilterConfig::default());
+            let union = cs.union();
+            for v in set {
+                assert!(union.binary_search(&v).is_ok());
+            }
+        }
+    }
+}

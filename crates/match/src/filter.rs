@@ -1,0 +1,83 @@
+//! The full candidate-filtering pipeline: local pruning + global refinement.
+//!
+//! This is the GraphQL method the paper adopts (§4(1)), chosen in \[89\] for
+//! the best pruning power among the surveyed filters.
+
+use crate::candidates::{local_pruning, CandidateSets};
+use crate::refinement::global_refinement;
+use neursc_graph::Graph;
+
+/// Filtering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Profile radius `r` for local pruning (paper/GraphQL default: 1).
+    pub profile_radius: u32,
+    /// Maximum global-refinement rounds (the paper runs the procedure
+    /// "multiple times"; 3 reaches the fixed point on all our workloads).
+    pub refinement_rounds: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            profile_radius: 1,
+            refinement_rounds: 3,
+        }
+    }
+}
+
+/// Runs the full pipeline and returns `CS(u)` for every query vertex.
+pub fn filter_candidates(q: &Graph, g: &Graph, cfg: &FilterConfig) -> CandidateSets {
+    let mut cs = local_pruning(q, g, cfg.profile_radius);
+    if !cs.any_empty() {
+        global_refinement(q, g, &mut cs, cfg.refinement_rounds);
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{paper_data_graph, paper_query_graph};
+
+    #[test]
+    fn default_pipeline_matches_paper_example() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = filter_candidates(&q, &g, &FilterConfig::default());
+        assert_eq!(cs.get(0), &[0]);
+        assert_eq!(cs.get(1), &[3]);
+        assert_eq!(cs.get(2), &[4, 5]);
+        assert_eq!(cs.get(3), &[9, 10]);
+    }
+
+    #[test]
+    fn zero_refinement_rounds_equals_local_pruning() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig {
+            profile_radius: 1,
+            refinement_rounds: 0,
+        };
+        let cs = filter_candidates(&q, &g, &cfg);
+        assert_eq!(cs, crate::candidates::local_pruning(&q, &g, 1));
+    }
+
+    #[test]
+    fn empty_candidates_skip_refinement() {
+        let g = paper_data_graph();
+        let q = neursc_graph::Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
+        let cs = filter_candidates(&q, &g, &FilterConfig::default());
+        assert!(cs.any_empty());
+    }
+
+    #[test]
+    fn query_on_itself_keeps_identity_candidates() {
+        // Filtering a graph against itself must keep v ∈ CS(v).
+        let g = paper_data_graph();
+        let cs = filter_candidates(&g, &g, &FilterConfig::default());
+        for v in g.vertices() {
+            assert!(cs.contains(v, v), "identity candidate {v} lost");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Matching-order selection for the backtracking counter.
+//!
+//! GraphQL-style ordering: start from the query vertex with the smallest
+//! candidate set, then repeatedly append the *connected* unordered vertex
+//! with the smallest candidate set. Connectivity keeps every extension
+//! constrained by at least one already-matched neighbor, which is what makes
+//! backtracking tractable; candidate-size greediness fails fast.
+
+use crate::candidates::CandidateSets;
+use neursc_graph::types::VertexId;
+use neursc_graph::Graph;
+
+/// A matching order plus, for each position, the positions of
+/// already-ordered query neighbors ("backward neighbors").
+#[derive(Debug, Clone)]
+pub struct MatchingOrder {
+    /// `order[i]` = query vertex matched at depth `i`.
+    pub order: Vec<VertexId>,
+    /// `backward[i]` = depths `< i` whose query vertex is adjacent to
+    /// `order[i]`.
+    pub backward: Vec<Vec<usize>>,
+}
+
+/// Builds a matching order from candidate-set sizes. For a connected query
+/// every non-root vertex has at least one backward neighbor; for a
+/// disconnected query each component is started fresh (no backward
+/// neighbors at its root).
+pub fn build_order(q: &Graph, cs: &CandidateSets) -> MatchingOrder {
+    let n = q.n_vertices();
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    while order.len() < n {
+        // Candidates adjacent to the placed set, or — if none (new
+        // component / first pick) — all unplaced vertices.
+        let mut best: Option<VertexId> = None;
+        let mut best_connected = false;
+        for u in q.vertices() {
+            if placed[u as usize] {
+                continue;
+            }
+            let connected = q.neighbors(u).iter().any(|&w| placed[w as usize]);
+            // Prefer connected vertices; tie-break by smaller candidate set,
+            // then by id for determinism.
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    if connected != best_connected {
+                        connected
+                    } else {
+                        (cs.get(u).len(), u) < (cs.get(b).len(), b)
+                    }
+                }
+            };
+            if better {
+                best = Some(u);
+                best_connected = connected;
+            }
+        }
+        let u = best.expect("some vertex remains");
+        placed[u as usize] = true;
+        order.push(u);
+    }
+
+    let pos: Vec<usize> = {
+        let mut p = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            p[u as usize] = i;
+        }
+        p
+    };
+    let backward = order
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            let mut b: Vec<usize> = q
+                .neighbors(u)
+                .iter()
+                .map(|&w| pos[w as usize])
+                .filter(|&j| j < i)
+                .collect();
+            b.sort_unstable();
+            b
+        })
+        .collect();
+    MatchingOrder { order, backward }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::local_pruning;
+    use crate::profile::{paper_data_graph, paper_query_graph};
+    use neursc_graph::Graph;
+
+    #[test]
+    fn order_is_a_permutation() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        let mo = build_order(&q, &cs);
+        let mut sorted = mo.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_starts_at_smallest_candidate_set() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        let mo = build_order(&q, &cs);
+        assert_eq!(mo.order[0], 0); // CS(u1) = {v1}, the unique minimum
+    }
+
+    #[test]
+    fn connected_query_has_backward_neighbors_everywhere() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        let mo = build_order(&q, &cs);
+        for i in 1..mo.order.len() {
+            assert!(
+                !mo.backward[i].is_empty(),
+                "position {i} (query vertex {}) has no backward neighbor",
+                mo.order[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_neighbors_match_adjacency() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cs = local_pruning(&q, &g, 1);
+        let mo = build_order(&q, &cs);
+        for i in 0..mo.order.len() {
+            for &j in &mo.backward[i] {
+                assert!(j < i);
+                assert!(q.has_edge(mo.order[i], mo.order[j]));
+            }
+            // completeness: every earlier adjacent vertex is listed
+            let listed: std::collections::HashSet<_> = mo.backward[i].iter().copied().collect();
+            for j in 0..i {
+                if q.has_edge(mo.order[i], mo.order[j]) {
+                    assert!(listed.contains(&j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_query_is_still_fully_ordered() {
+        let q = Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)]).unwrap();
+        let cs = CandidateSets {
+            sets: vec![vec![0], vec![0, 1], vec![2], vec![3, 4]],
+        };
+        let mo = build_order(&q, &cs);
+        assert_eq!(mo.order.len(), 4);
+        let roots = mo.backward.iter().filter(|b| b.is_empty()).count();
+        assert_eq!(roots, 2); // one root per component
+    }
+}

@@ -1,0 +1,187 @@
+//! Polynomial-time exact homomorphism counting for **tree** queries.
+//!
+//! Counting homomorphisms from a tree `T` into any graph `G` is classic
+//! dynamic programming over a rooted orientation of `T`
+//! (`O(|V(T)| · (|V(G)| + |E(G)|))`): for a root `r`,
+//!
+//! ```text
+//! hom(T, G) = Σ_v dp[r → v],
+//! dp[u → v] = [f_l(u) = f_l(v)] · Π_{c ∈ children(u)} Σ_{w ∈ N(v)} dp[c → w]
+//! ```
+//!
+//! This gives the matching substrate a second, independently-derived exact
+//! oracle: on tree queries it must agree with the exponential backtracking
+//! homomorphism counter, which is a powerful cross-check (and a fast path
+//! for tree-shaped workloads — most of the paper's sparse queries are
+//! near-trees).
+
+use crate::enumerate::{CountOutcome, CountResult};
+use neursc_graph::types::VertexId;
+use neursc_graph::Graph;
+
+/// Whether the query is a tree (connected and `|E| = |V| − 1`).
+pub fn is_tree(q: &Graph) -> bool {
+    q.n_vertices() > 0
+        && q.n_edges() == q.n_vertices() - 1
+        && neursc_graph::traversal::is_connected(q)
+}
+
+/// Exact homomorphism count of a tree query into `g`.
+///
+/// Returns `None` if `q` is not a tree (callers fall back to the general
+/// counter). Uses `f64` accumulation above `u64::MAX` (tree counts grow
+/// fast); the result saturates at `u64::MAX` in that regime.
+pub fn count_tree_homomorphisms(q: &Graph, g: &Graph) -> Option<CountResult> {
+    if !is_tree(q) {
+        return None;
+    }
+    let nq = q.n_vertices();
+    let ng = g.n_vertices();
+
+    // Root at 0; compute a BFS order so children precede parents in the
+    // reversed sweep.
+    let root: VertexId = 0;
+    let mut parent = vec![u32::MAX; nq];
+    let mut order = Vec::with_capacity(nq);
+    let mut queue = std::collections::VecDeque::new();
+    parent[root as usize] = root;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &c in q.neighbors(u) {
+            if parent[c as usize] == u32::MAX {
+                parent[c as usize] = u;
+                queue.push_back(c);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), nq);
+
+    // dp[u][v] — computed bottom-up in reverse BFS order.
+    let mut dp = vec![vec![0f64; ng]; nq];
+    for &u in order.iter().rev() {
+        let children: Vec<VertexId> = q
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&c| parent[c as usize] == u && c != u)
+            .collect();
+        for v in g.vertices() {
+            if g.label(v) != q.label(u) {
+                continue;
+            }
+            let mut prod = 1f64;
+            for &c in &children {
+                let s: f64 = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&w| dp[c as usize][w as usize])
+                    .sum();
+                prod *= s;
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            dp[u as usize][v as usize] = prod;
+        }
+    }
+    let total: f64 = dp[root as usize].iter().sum();
+    let count = if total >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        total.round() as u64
+    };
+    Some(CountResult {
+        count,
+        outcome: CountOutcome::Complete,
+        expansions: (nq * ng) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::count_homomorphisms;
+    use neursc_graph::generate::erdos_renyi;
+    use neursc_graph::Graph;
+
+    #[test]
+    fn tree_detection() {
+        let path = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_tree(&path));
+        let tri = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert!(!is_tree(&tri));
+        let forest = Graph::from_edges(4, &[0; 4], &[(0, 1), (2, 3)]).unwrap();
+        assert!(!is_tree(&forest)); // |E| = n−2 and disconnected
+        let single = Graph::from_edges(1, &[0], &[]).unwrap();
+        assert!(is_tree(&single));
+    }
+
+    #[test]
+    fn single_vertex_counts_label_frequency() {
+        let g = Graph::from_edges(5, &[0, 1, 1, 0, 1], &[(0, 1)]).unwrap();
+        let q = Graph::from_edges(1, &[1], &[]).unwrap();
+        let r = count_tree_homomorphisms(&q, &g).unwrap();
+        assert_eq!(r.count, 3);
+    }
+
+    #[test]
+    fn single_edge_counts_directed_label_edges() {
+        let g = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        let r = count_tree_homomorphisms(&q, &g).unwrap();
+        assert_eq!(r.count, 3); // (0,1), (2,1), (2,3)
+    }
+
+    #[test]
+    fn non_tree_queries_are_rejected() {
+        let g = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let tri = g.clone();
+        assert!(count_tree_homomorphisms(&tri, &g).is_none());
+    }
+
+    #[test]
+    fn agrees_with_backtracking_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = erdos_renyi(25, 70, 3, seed);
+            // Several tree shapes: paths, stars, a caterpillar.
+            let trees = [
+                Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap(),
+                Graph::from_edges(4, &[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+                Graph::from_edges(
+                    5,
+                    &[0, 1, 2, 0, 1],
+                    &[(0, 1), (1, 2), (2, 3), (2, 4)],
+                )
+                .unwrap(),
+            ];
+            for (i, t) in trees.iter().enumerate() {
+                let dp = count_tree_homomorphisms(t, &g).unwrap().count;
+                let bt = count_homomorphisms(t, &g, 1_000_000_000)
+                    .exact()
+                    .unwrap();
+                assert_eq!(dp, bt, "seed {seed}, tree {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_is_fast_on_deep_paths() {
+        // A 12-vertex path in a 500-vertex graph: exponential search would
+        // crawl; DP is O(nq·m).
+        let g = erdos_renyi(500, 2500, 2, 3);
+        let n = 12;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let q = Graph::from_edges(n as usize, &vec![0; n as usize], &edges).unwrap();
+        let r = count_tree_homomorphisms(&q, &g).unwrap();
+        assert_eq!(r.outcome, CountOutcome::Complete);
+        assert!(r.count > 0 || r.count == 0); // completes fast either way
+    }
+
+    #[test]
+    fn zero_when_label_absent() {
+        let g = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q = Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
+        assert_eq!(count_tree_homomorphisms(&q, &g).unwrap().count, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the matching substrate.
+//!
+//! The load-bearing property is *candidate completeness* (Definition 2): no
+//! filtering stage may drop a data vertex that participates in a true
+//! match. We verify it by enumerating all embeddings by brute force on
+//! random graphs and checking every matched pair survives the full
+//! filter pipeline. We also cross-check the backtracking counter against
+//! brute force.
+
+use neursc_match::candidates::local_pruning;
+use neursc_match::enumerate::{brute_force_count, count_embeddings};
+use neursc_match::filter::{filter_candidates, FilterConfig};
+use neursc_graph::generate::erdos_renyi;
+use neursc_graph::sample::{sample_query, QuerySampler};
+use neursc_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Enumerates all embeddings (query vertex → data vertex maps) brute-force.
+fn all_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
+    fn rec(q: &Graph, g: &Graph, depth: usize, used: &mut [bool], map: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if depth == q.n_vertices() {
+            out.push(map.clone());
+            return;
+        }
+        let u = depth as u32;
+        for v in g.vertices() {
+            if used[v as usize] || g.label(v) != q.label(u) {
+                continue;
+            }
+            let ok = q
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| (w as usize) < depth)
+                .all(|&w| g.has_edge(v, map[w as usize]));
+            if !ok {
+                continue;
+            }
+            used[v as usize] = true;
+            map.push(v);
+            rec(q, g, depth + 1, used, map, out);
+            map.pop();
+            used[v as usize] = false;
+        }
+    }
+    let mut out = Vec::new();
+    rec(q, g, 0, &mut vec![false; g.n_vertices()], &mut Vec::new(), &mut out);
+    out
+}
+
+fn arb_small_graph(n_min: usize, n_max: usize, n_labels: u32) -> impl Strategy<Value = Graph> {
+    (n_min..=n_max).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0u32..n_labels, n);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n));
+        (labels, edges).prop_map(move |(labels, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, &l) in labels.iter().enumerate() {
+                b.set_label(v as u32, l);
+            }
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 2 safety: every (u, v) pair used by any true embedding
+    /// survives local pruning AND the full refined pipeline.
+    #[test]
+    fn filtering_never_drops_a_true_match(
+        g in arb_small_graph(6, 14, 3),
+        q in arb_small_graph(2, 4, 3),
+    ) {
+        let embeddings = all_embeddings(&q, &g);
+        let local = local_pruning(&q, &g, 1);
+        let full = filter_candidates(&q, &g, &FilterConfig { profile_radius: 1, refinement_rounds: 4 });
+        for emb in &embeddings {
+            for (u, &v) in emb.iter().enumerate() {
+                prop_assert!(local.contains(u as u32, v),
+                    "local pruning dropped true pair ({u},{v})");
+                prop_assert!(full.contains(u as u32, v),
+                    "refinement dropped true pair ({u},{v})");
+            }
+        }
+    }
+
+    /// The backtracking counter agrees with brute force.
+    #[test]
+    fn counter_matches_brute_force(
+        g in arb_small_graph(5, 12, 3),
+        q in arb_small_graph(1, 4, 3),
+    ) {
+        let fast = count_embeddings(&q, &g, 100_000_000).exact().unwrap();
+        let slow = brute_force_count(&q, &g);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Filtering with a larger radius or more refinement can only shrink
+    /// candidate sets (monotone pruning power).
+    #[test]
+    fn refinement_monotone(
+        g in arb_small_graph(6, 14, 3),
+        q in arb_small_graph(2, 4, 3),
+    ) {
+        let weak = filter_candidates(&q, &g, &FilterConfig { profile_radius: 1, refinement_rounds: 0 });
+        let strong = filter_candidates(&q, &g, &FilterConfig { profile_radius: 1, refinement_rounds: 4 });
+        for u in q.vertices() {
+            for &v in strong.get(u) {
+                prop_assert!(weak.contains(u, v));
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_queries_always_have_matches_and_counts_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for seed in 0..8u64 {
+        let g = erdos_renyi(25, 60, 3, seed);
+        if let Some(q) = sample_query(&g, &QuerySampler::induced(5), &mut rng) {
+            let fast = count_embeddings(&q, &g, 100_000_000).exact().unwrap();
+            assert!(fast >= 1, "induced sampled query must embed at least once");
+            assert_eq!(fast, brute_force_count(&q, &g), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn triangle_embeddings_are_six_times_motif_occurrences() {
+    // Cross-oracle check: the backtracking counter on the unlabeled
+    // triangle must equal 6 × the closed-form triangle count.
+    use neursc_graph::motifs::triangle_count;
+    for seed in 0..5u64 {
+        let g = erdos_renyi(40, 160, 1, seed);
+        let tri = Graph::from_edges(3, &[0; 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let embeddings = count_embeddings(&tri, &g, 1_000_000_000).exact().unwrap();
+        assert_eq!(embeddings, 6 * triangle_count(&g), "seed {seed}");
+    }
+}

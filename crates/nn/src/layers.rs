@@ -1,0 +1,271 @@
+//! Neural-network layers: `Linear`, activations, `Mlp`, dropout.
+//!
+//! `Mlp` is the workhorse of the paper: GIN's COMBINE is an MLP (Eq. 3),
+//! the count head is a 4-layer MLP, and the Wasserstein discriminator is a
+//! 3-layer MLP (§6.1 settings).
+
+use crate::init::xavier_uniform;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use crate::{ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Pointwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Identity (no activation).
+    Identity,
+    /// max(0, x) — the paper's σ.
+    Relu,
+    /// LeakyReLU with the given negative slope (attention logits, Eq. 5).
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Smooth positive map ln(1 + eˣ) — the count head.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu(s) => tape.leaky_relu(x, s),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Softplus => tape.softplus(x),
+        }
+    }
+}
+
+/// A dense affine layer `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix `[in_dim, out_dim]`.
+    pub w: ParamId,
+    /// Bias row `[1, out_dim]`.
+    pub b: ParamId,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output feature dimension.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates a Xavier-initialized layer in `store`.
+    pub fn new(store: &mut ParamStore, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let w = store.alloc(xavier_uniform(in_dim, out_dim, rng));
+        let b = store.alloc(Tensor::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// `x·W + b` for `x: [n, in_dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add(xw, b)
+    }
+
+    /// The parameter ids of this layer (for clamping/serialization).
+    pub fn params(&self) -> [ParamId; 2] {
+        [self.w, self.b]
+    }
+}
+
+/// A multi-layer perceptron with a shared hidden activation and a separate
+/// output activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// The dense layers, applied in order.
+    pub layers: Vec<Linear>,
+    /// Activation between hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation after the final layer.
+    pub output_activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[64, 128, 1]` for a
+    /// 2-layer net mapping 64 → 128 → 1.
+    ///
+    /// # Panics
+    /// If fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        widths: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(store, w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// Forward pass for `x: [n, widths[0]]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            h = if i == last {
+                self.output_activation.apply(tape, h)
+            } else {
+                self.hidden_activation.apply(tape, h)
+            };
+        }
+        h
+    }
+
+    /// All parameter ids in this MLP.
+    pub fn params(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim)
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim)
+    }
+}
+
+/// Inverted dropout: during training, zeroes each element with probability
+/// `p` and rescales survivors by `1/(1-p)`; at evaluation time it is the
+/// identity.
+pub fn dropout(tape: &mut Tape, x: Var, p: f32, training: bool, rng: &mut StdRng) -> Var {
+    if !training || p <= 0.0 {
+        return x;
+    }
+    assert!(p < 1.0, "dropout probability must be < 1");
+    let (r, c) = tape.value(x).shape();
+    let keep = 1.0 - p;
+    let mask_data = (0..r * c)
+        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+        .collect();
+    tape.mul_const(x, Tensor::from_vec(r, c, mask_data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, 4, 3, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(5, 4));
+        let y = l.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn mlp_depth_and_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            &[8, 16, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        assert_eq!(mlp.layers.len(), 3);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 1);
+        assert_eq!(mlp.params().len(), 6);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 8));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_requires_two_widths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        Mlp::new(&mut store, &[8], Activation::Relu, Activation::Identity, &mut rng);
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_function() {
+        // Overfit 4 points of XOR — requires a working hidden layer.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let xs = Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let ys = Tensor::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut opt = Adam::new(5e-2);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let y = mlp.forward(&mut tape, &store, x);
+            let t = tape.constant(ys.clone());
+            let diff = tape.sub(y, t);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.sum(sq);
+            last_loss = tape.value(loss).item();
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+            store.zero_grads();
+        }
+        assert!(last_loss < 0.05, "XOR did not converge: loss {last_loss}");
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(4, 4));
+        let y = dropout(&mut tape, x, 0.5, false, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_training_scales_survivors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(100, 10));
+        let y = dropout(&mut tape, x, 0.4, true, &mut rng);
+        let vals = tape.value(y).data();
+        assert!(vals.iter().all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-5));
+        let zeros = vals.iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / vals.len() as f32;
+        assert!((frac - 0.4).abs() < 0.1, "dropout rate off: {frac}");
+        // Expected value preserved approximately.
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1);
+    }
+}

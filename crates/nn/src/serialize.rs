@@ -1,0 +1,209 @@
+//! Dependency-free text persistence for parameter stores.
+//!
+//! Format (line-oriented, whitespace-separated):
+//!
+//! ```text
+//! neursc-params v1 <n_tensors>
+//! tensor <rows> <cols>
+//! <f32> <f32> ...            # rows*cols values, row-major, one tensor per line
+//! ...
+//! ```
+//!
+//! Values are printed with enough digits (`{:e}` with full precision via
+//! `f32 -> String` roundtrip formatting) to reload bit-identically.
+
+use crate::tensor::Tensor;
+use crate::ParamStore;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Malformed input text.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Parse(m) => write!(f, "parse error: {m}"),
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Serializes all parameter values (not gradients) to text.
+pub fn store_to_string(store: &ParamStore) -> String {
+    let mut out = String::new();
+    writeln!(out, "neursc-params v1 {}", store.len()).unwrap();
+    for id in store.ids() {
+        let t = store.value(id);
+        writeln!(out, "tensor {} {}", t.rows(), t.cols()).unwrap();
+        let mut line = String::with_capacity(t.len() * 12);
+        for (i, v) in t.data().iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            // `{}` on f32 prints the shortest string that roundtrips.
+            write!(line, "{v}").unwrap();
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a store previously produced by [`store_to_string`].
+pub fn store_from_string(text: &str) -> Result<ParamStore, SerializeError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SerializeError::Parse("empty input".into()))?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("neursc-params") || h.next() != Some("v1") {
+        return Err(SerializeError::Parse("bad header".into()));
+    }
+    let n: usize = h
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SerializeError::Parse("bad tensor count".into()))?;
+    let mut store = ParamStore::new();
+    for i in 0..n {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| SerializeError::Parse(format!("missing tensor {i} header")))?;
+        let mut s = shape_line.split_whitespace();
+        if s.next() != Some("tensor") {
+            return Err(SerializeError::Parse(format!("bad tensor {i} header")));
+        }
+        let rows: usize = s
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| SerializeError::Parse(format!("bad rows for tensor {i}")))?;
+        let cols: usize = s
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| SerializeError::Parse(format!("bad cols for tensor {i}")))?;
+        let data_line = lines
+            .next()
+            .ok_or_else(|| SerializeError::Parse(format!("missing data for tensor {i}")))?;
+        let data: Result<Vec<f32>, _> = data_line
+            .split_whitespace()
+            .map(|x| x.parse::<f32>())
+            .collect();
+        let data = data.map_err(|_| SerializeError::Parse(format!("bad float in tensor {i}")))?;
+        if data.len() != rows * cols {
+            return Err(SerializeError::Parse(format!(
+                "tensor {i}: expected {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        store.alloc(Tensor::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+/// Writes a store to a file.
+pub fn save_store(store: &ParamStore, path: &Path) -> Result<(), SerializeError> {
+    std::fs::write(path, store_to_string(store))?;
+    Ok(())
+}
+
+/// Loads a store from a file.
+pub fn load_store(path: &Path) -> Result<ParamStore, SerializeError> {
+    let text = std::fs::read_to_string(path)?;
+    store_from_string(&text)
+}
+
+/// Copies parameter *values* from `src` into `dst` (shapes must match
+/// pairwise) — used to load a trained model into a freshly constructed
+/// network whose layers already allocated their parameters.
+pub fn copy_values(dst: &mut ParamStore, src: &ParamStore) -> Result<(), SerializeError> {
+    if dst.len() != src.len() {
+        return Err(SerializeError::Parse(format!(
+            "parameter count mismatch: {} vs {}",
+            dst.len(),
+            src.len()
+        )));
+    }
+    let ids: Vec<_> = dst.ids().collect();
+    for id in ids {
+        if dst.value(id).shape() != src.value(id).shape() {
+            return Err(SerializeError::Parse(format!(
+                "shape mismatch on parameter {}",
+                id.0
+            )));
+        }
+        *dst.value_mut(id) = src.value(id).clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.alloc(Tensor::from_rows(&[&[1.5, -2.25], &[0.0, 3.125e-7]]));
+        s.alloc(Tensor::from_vec(1, 3, vec![f32::MIN_POSITIVE, 1e30, -0.1]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let s = sample_store();
+        let text = store_to_string(&s);
+        let s2 = store_from_string(&text).unwrap();
+        assert_eq!(s.len(), s2.len());
+        for id in s.ids() {
+            assert_eq!(s.value(id), s2.value(id));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("neursc_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.txt");
+        save_store(&s, &path).unwrap();
+        let s2 = load_store(&path).unwrap();
+        assert_eq!(store_to_string(&s), store_to_string(&s2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(store_from_string("").is_err());
+        assert!(store_from_string("wrong header").is_err());
+        assert!(store_from_string("neursc-params v1 1\ntensor 2 2\n1 2 3").is_err());
+        assert!(store_from_string("neursc-params v1 1\ntensor 1 1\nnot_a_float").is_err());
+        assert!(store_from_string("neursc-params v1 2\ntensor 1 1\n0").is_err());
+    }
+
+    #[test]
+    fn copy_values_checks_shapes() {
+        let src = sample_store();
+        let mut dst = sample_store();
+        dst.value_mut(crate::ParamId(0)).fill(9.0);
+        copy_values(&mut dst, &src).unwrap();
+        assert_eq!(dst.value(crate::ParamId(0)), src.value(crate::ParamId(0)));
+
+        let mut small = ParamStore::new();
+        small.alloc(Tensor::zeros(1, 1));
+        assert!(copy_values(&mut small, &src).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment workloads for the NeurSC reproduction: the seven dataset
+//! presets of Table 2, the query sets of Table 3, exact ground truth with a
+//! deterministic budget (standing in for the paper's 30-minute cutoff),
+//! and train/test machinery (80/20 split, 5-fold CV — §6.1).
+
+pub mod datasets;
+pub mod ground_truth;
+pub mod queries;
+pub mod split;
+pub mod stats;
+
+pub use datasets::{dataset, DatasetId, DatasetPreset};
+pub use ground_truth::{label_queries, GroundTruthConfig};
+pub use queries::{build_query_set, QuerySetConfig};
+pub use split::{kfold, train_test_split};

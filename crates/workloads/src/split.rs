@@ -1,0 +1,92 @@
+//! Train/test machinery: the paper's 80/20 split and 5-fold cross
+//! validation (§6.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled index split: `(train, test)` with `test ≈ test_frac·n`.
+pub fn train_test_split(n: usize, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((n as f64) * test_frac).round() as usize;
+    let test = idx.split_off(n.saturating_sub(n_test));
+    (idx, test)
+}
+
+/// K-fold partition: returns `k` `(train, test)` index pairs whose test
+/// folds are disjoint and cover `0..n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k ≥ 2");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &x) in idx.iter().enumerate() {
+        folds[i % k].push(x);
+    }
+    (0..k)
+        .map(|t| {
+            let test = folds[t].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != t)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Selects the elements of `items` at `indices` (cloning).
+pub fn take<T: Clone>(items: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| items[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_indices() {
+        let (train, test) = train_test_split(100, 0.2, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
+        assert_ne!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 8));
+    }
+
+    #[test]
+    fn kfold_test_folds_cover_everything_disjointly() {
+        let folds = kfold(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn take_selects() {
+        let v = vec!["a", "b", "c"];
+        assert_eq!(take(&v, &[2, 0]), vec!["c", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn kfold_rejects_k1() {
+        kfold(10, 1, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Regeneration of Table 2 (data-graph statistics) and Table 3 (query-set
+//! details) rows from the presets.
+
+use crate::datasets::{dataset, preset, DatasetId};
+use crate::ground_truth::{count_all, GroundTruthConfig};
+use crate::queries::{build_query_set, QuerySetConfig};
+use neursc_graph::properties;
+
+/// One Table 2 row: ours vs. the paper.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Our |V| / paper |V|.
+    pub vertices: (usize, usize),
+    /// Our |E| / paper |E|.
+    pub edges: (usize, usize),
+    /// Our |L| / paper |L|.
+    pub labels: (usize, usize),
+    /// Our d̄ / paper d̄.
+    pub avg_degree: (f64, f64),
+}
+
+/// Computes a Table 2 row.
+pub fn table2_row(id: DatasetId) -> Table2Row {
+    let p = preset(id);
+    let g = dataset(id);
+    let s = properties::stats(&g);
+    Table2Row {
+        name: id.name(),
+        vertices: (s.n_vertices, p.paper_vertices),
+        edges: (s.n_edges, p.paper_edges),
+        labels: (s.n_labels, p.paper_labels),
+        avg_degree: (s.avg_degree, p.paper_avg_degree),
+    }
+}
+
+/// One Table 3 row: the realized query set of one size on one dataset.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Query size.
+    pub size: usize,
+    /// Queries generated / queries whose counts fit the budget.
+    pub generated: usize,
+    /// Solvable queries (the workload actually used).
+    pub solvable: usize,
+    /// Count range among solvable queries (log10 lower/upper bounds).
+    pub count_range: (u64, u64),
+}
+
+/// Computes a Table 3 row for one `(dataset, size)` pair.
+pub fn table3_row(
+    id: DatasetId,
+    size: usize,
+    n_queries: usize,
+    gt: &GroundTruthConfig,
+) -> Table3Row {
+    let g = dataset(id);
+    let qcfg = QuerySetConfig::new(size, n_queries, preset(id).seed);
+    let queries = build_query_set(&g, &qcfg);
+    let mut gt = gt.clone();
+    gt.cache_key = Some(format!(
+        "{}_s{}_{}_{}_{}",
+        id.name(),
+        preset(id).seed,
+        size,
+        n_queries,
+        gt.budget
+    ));
+    let counts = count_all(&g, &queries, &gt);
+    let solvable: Vec<u64> = counts.iter().flatten().copied().collect();
+    Table3Row {
+        name: id.name(),
+        size,
+        generated: queries.len(),
+        solvable: solvable.len(),
+        count_range: (
+            solvable.iter().copied().min().unwrap_or(0),
+            solvable.iter().copied().max().unwrap_or(0),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_matches_paper_at_full_scale() {
+        let r = table2_row(DatasetId::Yeast);
+        assert_eq!(r.vertices.0, r.vertices.1);
+        assert!((r.avg_degree.0 - r.avg_degree.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn table2_scaled_rows_report_both_sides() {
+        let r = table2_row(DatasetId::Dblp);
+        assert!(r.vertices.0 < r.vertices.1);
+        assert!((r.avg_degree.0 - 6.6).abs() < 1.5);
+    }
+
+    #[test]
+    fn table3_row_counts_solvable_queries() {
+        let gt = GroundTruthConfig {
+            budget: 50_000_000,
+            threads: 4,
+            cache_dir: None,
+            cache_key: None,
+        };
+        let r = table3_row(DatasetId::Yeast, 4, 6, &gt);
+        assert_eq!(r.generated, 6);
+        assert!(r.solvable >= 1);
+        assert!(r.count_range.1 >= r.count_range.0);
+    }
+}

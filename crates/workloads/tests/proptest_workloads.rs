@@ -1,0 +1,72 @@
+//! Property tests for the workload substrate: split/k-fold invariants and
+//! query-set guarantees under arbitrary parameters.
+
+use neursc_workloads::split::{kfold, take, train_test_split};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn split_partitions_for_any_size_and_fraction(
+        n in 1usize..200,
+        frac in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "indices must be unique and complete");
+        // test fraction approximately honored (rounding to nearest)
+        let expected = (n as f64 * frac).round() as usize;
+        prop_assert_eq!(test.len(), expected.min(n));
+    }
+
+    #[test]
+    fn kfold_folds_partition_for_any_k(
+        n in 2usize..120,
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let folds = kfold(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        prop_assert_eq!(all_test, (0..n).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for t in test {
+                prop_assert!(!train.contains(t));
+            }
+            // balanced folds: sizes differ by at most 1
+            prop_assert!(test.len() >= n / k);
+            prop_assert!(test.len() <= n.div_ceil(k));
+        }
+    }
+
+    #[test]
+    fn take_preserves_order_and_multiplicity(
+        items in proptest::collection::vec(any::<u32>(), 1..30),
+        picks in proptest::collection::vec(0usize..30, 0..30),
+    ) {
+        let picks: Vec<usize> = picks.into_iter().filter(|&i| i < items.len()).collect();
+        let out = take(&items, &picks);
+        prop_assert_eq!(out.len(), picks.len());
+        for (o, &i) in out.iter().zip(&picks) {
+            prop_assert_eq!(*o, items[i]);
+        }
+    }
+}
+
+#[test]
+fn query_sets_are_reproducible_across_processes() {
+    // The bench harness relies on (dataset seed, size, count) fully
+    // determining the query set — the ground-truth cache is keyed on it.
+    use neursc_workloads::datasets::{dataset, preset, DatasetId};
+    use neursc_workloads::queries::{build_query_set, QuerySetConfig};
+    let g = dataset(DatasetId::Yeast);
+    let p = preset(DatasetId::Yeast);
+    let a = build_query_set(&g, &QuerySetConfig::new(4, 6, p.seed));
+    let b = build_query_set(&g, &QuerySetConfig::new(4, 6, p.seed));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train NeurSC on a small labeled graph and estimate subgraph
+//! counts, comparing against the exact counter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neursc::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A data graph: 2,000 vertices, clustered like a protein network.
+    let g = neursc::graph::generate::generate(
+        &neursc::graph::generate::GraphSpec {
+            n_vertices: 2_000,
+            avg_degree: 8.0,
+            n_labels: 12,
+            label_zipf: 0.8,
+            model: neursc::graph::generate::DegreeModel::Community {
+                community_size: 25,
+                intra_fraction: 0.8,
+            },
+        },
+        42,
+    );
+    println!(
+        "data graph: |V|={} |E|={} |L|={}",
+        g.n_vertices(),
+        g.n_edges(),
+        g.n_labels()
+    );
+
+    // 2. Sample connected query graphs and label them with exact counts.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut labeled = Vec::new();
+    while labeled.len() < 60 {
+        let q = sample_query(&g, &QuerySampler::induced(5), &mut rng).expect("graph large enough");
+        if let Some(c) = count_embeddings(&q, &g, 500_000_000).exact() {
+            labeled.push((q, c));
+        }
+    }
+    let (train, test) = labeled.split_at(48);
+    println!("labeled {} queries ({} train / {} test)", labeled.len(), train.len(), test.len());
+
+    // 3. Train NeurSC (extraction + WEst + Wasserstein discriminator).
+    let mut model = NeurSc::new(NeurScConfig::small(), 7);
+    let report = model.fit(&g, train).expect("non-empty training set");
+    println!(
+        "trained: {} pretrain + {} adversarial epochs, final loss {:.3}",
+        report.pretrain_epochs, report.adversarial_epochs, report.final_loss
+    );
+
+    // 4. Estimate on held-out queries.
+    println!("\n{:<8} {:>12} {:>12} {:>8}", "query", "estimate", "truth", "q-error");
+    let mut total_q = 0.0;
+    for (i, (q, c)) in test.iter().enumerate() {
+        let e = model.estimate(q, &g);
+        let qe = neursc::core::q_error(e, *c as f64);
+        total_q += qe;
+        println!("{:<8} {:>12.1} {:>12} {:>8.2}", format!("#{i}"), e, c, qe);
+    }
+    println!("\nmean q-error: {:.2}", total_q / test.len() as f64);
+}

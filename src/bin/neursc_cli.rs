@@ -1,0 +1,262 @@
+//! `neursc-cli` — command-line front end for the NeurSC library.
+//!
+//! Lets a downstream user run the full workflow on `.graph` files without
+//! writing Rust:
+//!
+//! ```text
+//! neursc-cli generate --dataset yeast --out data.graph
+//! neursc-cli queries  --data data.graph --size 8 --count 20 --out-dir qs/
+//! neursc-cli count    --data data.graph --query qs/q0.graph
+//! neursc-cli train    --data data.graph --queries qs/ --out model.txt
+//! neursc-cli estimate --model model.txt --data data.graph --query qs/q0.graph
+//! neursc-cli evaluate --model model.txt --data data.graph --queries qs/
+//! ```
+//!
+//! `queries` writes one `q<i>.graph` per query plus a `counts.csv`
+//! (`file,count`) with exact ground truth; `train`/`evaluate` read that
+//! layout back.
+
+use neursc::core::persist::{load_model, save_model};
+use neursc::core::{NeurSc, NeurScConfig};
+use neursc::graph::io::{load_graph, save_graph};
+use neursc::graph::Graph;
+use neursc::matching::count_embeddings;
+use neursc::workloads::datasets::{dataset, DatasetId};
+use neursc::workloads::queries::{build_query_set, QuerySetConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "queries" => cmd_queries(&opts),
+        "count" => cmd_count(&opts),
+        "train" => cmd_train(&opts),
+        "estimate" => cmd_estimate(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+neursc-cli — neural subgraph counting (NeurSC, SIGMOD 2022)
+
+USAGE:
+  neursc-cli generate --dataset <name>|--vertices N --degree D --labels L [--seed S] --out FILE
+  neursc-cli queries  --data FILE --size N --count K [--seed S] [--budget B] --out-dir DIR
+  neursc-cli count    --data FILE --query FILE [--budget B]
+  neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] --out FILE
+  neursc-cli estimate --model FILE --data FILE --query FILE
+  neursc-cli evaluate --model FILE --data FILE --queries DIR
+
+Datasets: Yeast, Human, HPRD, Wordnet, DBLP, EU2005, Youtube (Table 2 presets).";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let out = PathBuf::from(req(opts, "out")?);
+    let g = if let Some(name) = opts.get("dataset") {
+        let id = DatasetId::parse(name).ok_or_else(|| format!("unknown dataset {name}"))?;
+        dataset(id)
+    } else {
+        let n: usize = num(opts, "vertices", 1000)?;
+        let d: f64 = num(opts, "degree", 8.0)?;
+        let l: usize = num(opts, "labels", 8)?;
+        let seed: u64 = num(opts, "seed", 1)?;
+        neursc::graph::generate::generate(
+            &neursc::graph::generate::GraphSpec {
+                n_vertices: n,
+                avg_degree: d,
+                n_labels: l,
+                label_zipf: 0.8,
+                model: neursc::graph::generate::DegreeModel::Community {
+                    community_size: 25,
+                    intra_fraction: 0.8,
+                },
+            },
+            seed,
+        )
+    };
+    save_graph(&g, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} (|V|={} |E|={} |L|={})",
+        out.display(),
+        g.n_vertices(),
+        g.n_edges(),
+        g.n_labels()
+    );
+    Ok(())
+}
+
+fn cmd_queries(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let size: usize = num(opts, "size", 8)?;
+    let count: usize = num(opts, "count", 20)?;
+    let seed: u64 = num(opts, "seed", 1)?;
+    let budget: u64 = num(opts, "budget", 500_000_000)?;
+    let dir = PathBuf::from(req(opts, "out-dir")?);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+
+    let queries = build_query_set(&g, &QuerySetConfig::new(size, count, seed));
+    let mut csv = String::from("file,count\n");
+    let mut kept = 0;
+    for (i, q) in queries.iter().enumerate() {
+        let r = count_embeddings(q, &g, budget);
+        let Some(c) = r.exact() else {
+            eprintln!("q{i}: over budget, dropped");
+            continue;
+        };
+        let name = format!("q{i}.graph");
+        save_graph(q, &dir.join(&name)).map_err(|e| e.to_string())?;
+        csv.push_str(&format!("{name},{c}\n"));
+        kept += 1;
+    }
+    std::fs::write(dir.join("counts.csv"), csv).map_err(|e| e.to_string())?;
+    println!("wrote {kept} labeled queries to {}", dir.display());
+    Ok(())
+}
+
+fn cmd_count(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let q = load_graph(Path::new(req(opts, "query")?)).map_err(|e| e.to_string())?;
+    let budget: u64 = num(opts, "budget", 2_000_000_000)?;
+    let r = count_embeddings(&q, &g, budget);
+    match r.exact() {
+        Some(c) => println!("{c}"),
+        None => {
+            println!("budget exhausted after {} expansions (≥ {})", r.expansions, r.count);
+            return Err("count exceeds budget".into());
+        }
+    }
+    Ok(())
+}
+
+fn load_labeled_dir(dir: &Path) -> Result<Vec<(Graph, u64)>, String> {
+    let csv =
+        std::fs::read_to_string(dir.join("counts.csv")).map_err(|e| format!("counts.csv: {e}"))?;
+    let mut out = Vec::new();
+    for line in csv.lines().skip(1) {
+        let (file, count) = line
+            .split_once(',')
+            .ok_or_else(|| format!("bad counts.csv line: {line}"))?;
+        let c: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad count: {count}"))?;
+        let q = load_graph(&dir.join(file.trim())).map_err(|e| format!("{file}: {e}"))?;
+        out.push((q, c));
+    }
+    Ok(out)
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
+    let epochs: usize = num(opts, "epochs", 20)?;
+    let seed: u64 = num(opts, "seed", 7)?;
+    let out = PathBuf::from(req(opts, "out")?);
+
+    let mut cfg = NeurScConfig::small();
+    cfg.pretrain_epochs = epochs;
+    cfg.adversarial_epochs = (epochs / 3).max(2);
+    let mut model = NeurSc::new(cfg, seed);
+    let report = model.fit(&g, &labeled).map_err(|e| e.to_string())?;
+    save_model(&model, &out).map_err(|e| e.to_string())?;
+    println!(
+        "trained on {} queries ({} skipped), final loss {:.3}; wrote {}",
+        labeled.len(),
+        report.skipped_queries,
+        report.final_loss,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_estimate(opts: &Opts) -> Result<(), String> {
+    let model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let q = load_graph(Path::new(req(opts, "query")?)).map_err(|e| e.to_string())?;
+    let d = model.estimate_detailed(&q, &g);
+    println!("{:.1}", d.count);
+    eprintln!(
+        "({} substructures{})",
+        d.n_substructures,
+        if d.trivially_zero { ", trivially zero" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
+    let model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
+    if labeled.is_empty() {
+        return Err("no labeled queries found".into());
+    }
+    let mut errs: Vec<f64> = Vec::new();
+    for (q, c) in &labeled {
+        let e = model.estimate(q, &g);
+        errs.push(neursc::core::q_error(e, *c as f64));
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    let gmean = (errs.iter().map(|e| e.ln()).sum::<f64>() / errs.len() as f64).exp();
+    let max = errs.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{} queries: mean q-error {mean:.2}, geometric mean {gmean:.2}, max {max:.2}",
+        labeled.len()
+    );
+    Ok(())
+}

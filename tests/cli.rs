@@ -1,0 +1,138 @@
+//! End-to-end test of the `neursc_cli` binary: generate → queries → count
+//! → train → estimate → evaluate over real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_neursc_cli"))
+}
+
+fn run_ok(mut cmd: Command) -> String {
+    let out = cmd.output().expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "cli failed: {}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = std::env::temp_dir().join("neursc_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| -> PathBuf { dir.join(name) };
+
+    // generate
+    let out = run_ok({
+        let mut c = cli();
+        c.args([
+            "generate", "--vertices", "300", "--degree", "8", "--labels", "5", "--seed", "3",
+            "--out",
+        ])
+        .arg(p("data.graph"));
+        c
+    });
+    assert!(out.contains("|V|=300"));
+
+    // queries + ground truth
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["queries", "--data"])
+            .arg(p("data.graph"))
+            .args(["--size", "4", "--count", "10", "--seed", "2", "--out-dir"])
+            .arg(p("qs"));
+        c
+    });
+    assert!(out.contains("labeled queries"));
+    assert!(p("qs").join("counts.csv").exists());
+
+    // count one query — must match the counts.csv entry for q0
+    let csv = std::fs::read_to_string(p("qs").join("counts.csv")).unwrap();
+    let q0_count: u64 = csv
+        .lines()
+        .find(|l| l.starts_with("q0.graph"))
+        .and_then(|l| l.split(',').nth(1))
+        .and_then(|c| c.trim().parse().ok())
+        .expect("q0 count in csv");
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["count", "--data"])
+            .arg(p("data.graph"))
+            .args(["--query"])
+            .arg(p("qs").join("q0.graph"));
+        c
+    });
+    assert_eq!(out.trim().parse::<u64>().unwrap(), q0_count);
+
+    // train
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["train", "--data"])
+            .arg(p("data.graph"))
+            .args(["--queries"])
+            .arg(p("qs"))
+            .args(["--epochs", "6", "--out"])
+            .arg(p("model.txt"));
+        c
+    });
+    assert!(out.contains("trained on"));
+
+    // estimate
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["estimate", "--model"])
+            .arg(p("model.txt"))
+            .args(["--data"])
+            .arg(p("data.graph"))
+            .args(["--query"])
+            .arg(p("qs").join("q0.graph"));
+        c
+    });
+    let est: f64 = out.trim().parse().unwrap();
+    assert!(est.is_finite() && est >= 0.0);
+
+    // evaluate
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["evaluate", "--model"])
+            .arg(p("model.txt"))
+            .args(["--data"])
+            .arg(p("data.graph"))
+            .args(["--queries"])
+            .arg(p("qs"));
+        c
+    });
+    assert!(out.contains("mean q-error"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["count", "--data"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_generate_dataset_preset() {
+    let dir = std::env::temp_dir().join("neursc_cli_preset_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("yeast.graph");
+    run_ok({
+        let mut c = cli();
+        c.args(["generate", "--dataset", "yeast", "--out"]).arg(&path);
+        c
+    });
+    let g = neursc::graph::io::load_graph(&path).unwrap();
+    assert_eq!(g.n_vertices(), 3112);
+    std::fs::remove_dir_all(&dir).ok();
+}
