@@ -166,12 +166,8 @@ mod tests {
     #[test]
     fn exact_on_stars() {
         // Star queries are CSet's home turf: the summary answers exactly.
-        let g = Graph::from_edges(
-            6,
-            &[0, 1, 1, 0, 1, 2],
-            &[(0, 1), (0, 2), (3, 4), (3, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, &[0, 1, 1, 0, 1, 2], &[(0, 1), (0, 2), (3, 4), (3, 5)]).unwrap();
         let mut est = CharacteristicSets::new();
         est.fit(&g, &[]);
         // Star: center 0, two leaves labeled 1 → only vertex 0 hosts it,
@@ -197,8 +193,7 @@ mod tests {
     fn underestimates_triangles() {
         // The independence assumption cannot see closure: on a graph that
         // is exactly one triangle, the estimate is below the truth (6).
-        let g =
-            Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let tri = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let mut est = CharacteristicSets::new();
         est.fit(&g, &[]);

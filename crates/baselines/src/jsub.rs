@@ -65,8 +65,7 @@ impl CountEstimator for JSub {
         let mut total = 0.0f64;
         let mut mapping = vec![0 as VertexId; n];
         for _ in 0..self.trials {
-            if let Some(w) = one_trial(q, g, &order, &backward, &by_label, &mut mapping, &mut rng)
-            {
+            if let Some(w) = one_trial(q, g, &order, &backward, &by_label, &mut mapping, &mut rng) {
                 total += w;
             }
         }

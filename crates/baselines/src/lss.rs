@@ -174,7 +174,7 @@ impl Lss {
             });
         }
         let e = rows.expect("queries are non-empty"); // [m, d]
-        // Scaled dot-product self-attention across substructures.
+                                                      // Scaled dot-product self-attention across substructures.
         let wq = tape.param(&self.store, self.wq);
         let wk = tape.param(&self.store, self.wk);
         let wv = tape.param(&self.store, self.wv);

@@ -99,7 +99,13 @@ struct MeanConvStack {
 }
 
 impl MeanConvStack {
-    fn new(store: &mut ParamStore, in_dim: usize, hidden: usize, n: usize, rng: &mut StdRng) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        in_dim: usize,
+        hidden: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let mut layers = Vec::new();
         let mut d = in_dim;
         for _ in 0..n {
@@ -125,7 +131,8 @@ impl MeanConvStack {
             } else {
                 let msgs = tape.index_select(h, &edges.src);
                 let summed = tape.segment_sum(msgs, &edges.dst, n);
-                let meaned = tape.mul_const(summed, expand_cols(inv_deg, tape.value(summed).cols()));
+                let meaned =
+                    tape.mul_const(summed, expand_cols(inv_deg, tape.value(summed).cols()));
                 tape.add(h, meaned)
             };
             let z = layer.forward(tape, store, agg);
@@ -265,9 +272,7 @@ impl Nsic {
         // Memory init: chunked mean pooling of the data representations.
         let ng = data.n_vertices();
         let slots = self.config.memory_slots.min(ng.max(1));
-        let seg: Vec<u32> = (0..ng)
-            .map(|i| ((i * slots) / ng.max(1)) as u32)
-            .collect();
+        let seg: Vec<u32> = (0..ng).map(|i| ((i * slots) / ng.max(1)) as u32).collect();
         let mut mem = {
             let sums = tape.segment_sum(hg, &seg, slots);
             // Normalize by chunk sizes.
@@ -440,12 +445,13 @@ mod tests {
             .iter()
             .map(|(q, _)| nsic.estimate(q, &g).unwrap().max(1.0).ln())
             .collect();
-        let spread = outs
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = outs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - outs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         let truth_spread = {
-            let t: Vec<f64> = queries.iter().map(|(_, c)| (*c as f64).max(1.0).ln()).collect();
+            let t: Vec<f64> = queries
+                .iter()
+                .map(|(_, c)| (*c as f64).max(1.0).ln())
+                .collect();
             t.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
                 - t.iter().fold(f64::INFINITY, |a, &b| a.min(b))
         };

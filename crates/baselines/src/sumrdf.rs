@@ -204,12 +204,7 @@ mod tests {
     #[test]
     fn exact_on_uniform_label_pairs() {
         // Bipartite-complete 2×2 with distinct labels: summary is lossless.
-        let g = Graph::from_edges(
-            4,
-            &[0, 0, 1, 1],
-            &[(0, 2), (0, 3), (1, 2), (1, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
         let mut est = SumRdf::new();
         est.fit(&g, &[]);
         let q = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();

@@ -1,0 +1,161 @@
+//! Pipeline benchmark: profile-cache warm-up and multi-thread scaling.
+//!
+//! Measures the two tentpole effects and writes `BENCH_pipeline.json` at
+//! the repository root (or `$NEURSC_BENCH_OUT`):
+//!
+//! 1. **Cache** — time of the first estimate against a data graph (pays
+//!    `all_profiles(G, r)`) vs the second (served from the
+//!    [`neursc_core::GraphContext`] profile cache), at 1 thread.
+//! 2. **Scaling** — wall-clock of a 32-query `estimate_batch` at 1, 2 and
+//!    4 worker threads. With a fixed seed the estimates are bit-identical
+//!    across thread counts; the JSON records a checksum to prove it.
+//!
+//! Usage: `bench_pipeline [--threads-list 1,2,4] [--queries 32]`.
+//!
+//! Numbers are honest wall-clock on the current host. On a single-core
+//! machine thread counts above 1 cannot speed anything up (see
+//! KNOWN_ISSUES.md); the determinism checksum is the portable claim.
+
+use neursc_core::{GraphContext, NeurSc, NeurScConfig, Parallelism};
+use neursc_graph::generate::{generate, DegreeModel, GraphSpec};
+use neursc_graph::sample::{sample_query, QuerySampler};
+use neursc_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads_list: Vec<usize> = flag(&args, "--threads-list")
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let n_queries: usize = flag(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+
+    // A data graph big enough that all_profiles(G, 2) dominates one query's
+    // cost, and a model small enough that the WEst forward does not.
+    let g = generate(
+        &GraphSpec {
+            n_vertices: 4000,
+            avg_degree: 8.0,
+            n_labels: 6,
+            label_zipf: 0.8,
+            model: DegreeModel::Community {
+                community_size: 40,
+                intra_fraction: 0.8,
+            },
+        },
+        11,
+    );
+    // Seeded init: every `make_model(t)` call yields identical weights, so
+    // thread counts are compared on the exact same network.
+    let make_model = |threads: usize| {
+        let mut cfg = NeurScConfig::small();
+        cfg.filter.profile_radius = 3;
+        cfg.max_substructure_vertices = Some(64);
+        cfg.parallelism.threads = threads;
+        NeurSc::new(cfg, 11)
+    };
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let queries: Vec<Graph> = (0..n_queries)
+        .map(|_| sample_query(&g, &QuerySampler::induced(5), &mut rng).unwrap())
+        .collect();
+
+    println!(
+        "bench_pipeline: |V(G)|={} |E(G)|={}, {} queries, host cores: {}",
+        g.n_vertices(),
+        g.n_edges(),
+        queries.len(),
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    // --- 1. Cache effect (threads = 1) -----------------------------------
+    let seq = make_model(1);
+    seq.config.parallelism.apply_to_kernels();
+    let ctx = GraphContext::new();
+    let t0 = Instant::now();
+    let first = seq.estimate_with(&queries[0], &g, &ctx);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let second = seq.estimate_with(&queries[1], &g, &ctx);
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "cache: first query {cold_ms:.2} ms (computes profiles), second {warm_ms:.2} ms \
+         (cached) — {:.1}x",
+        cold_ms / warm_ms.max(1e-9)
+    );
+
+    // --- 2. Thread scaling over the batch --------------------------------
+    let mut scaling = Vec::new();
+    let mut checksums = Vec::new();
+    for &t in &threads_list {
+        let m = make_model(t);
+        m.config.parallelism.apply_to_kernels();
+        let ctx = GraphContext::new();
+        // Warm the profile cache outside the timed region so the scaling
+        // number isolates the fan-out, not the (already measured) cache.
+        let _ = ctx.profiles.profiles(&g, m.config.filter.profile_radius);
+        let t0 = Instant::now();
+        let details = m.estimate_batch(&queries, &g, &ctx);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let checksum = details
+            .iter()
+            .fold(0u64, |acc, d| acc ^ d.count.to_bits().rotate_left(17));
+        println!(
+            "threads={t}: batch of {} in {ms:.1} ms (checksum {checksum:016x})",
+            queries.len()
+        );
+        scaling.push((t, ms));
+        checksums.push(checksum);
+    }
+    let deterministic = checksums.windows(2).all(|w| w[0] == w[1]);
+    assert!(deterministic, "thread counts produced different estimates");
+    println!("determinism: all thread counts bit-identical ✓");
+    Parallelism::default().apply_to_kernels();
+
+    // --- JSON report ------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"graph_vertices\": {},", g.n_vertices());
+    let _ = writeln!(json, "  \"graph_edges\": {},", g.n_edges());
+    let _ = writeln!(json, "  \"n_queries\": {},", queries.len());
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"cache_cold_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "  \"cache_warm_ms\": {warm_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"cache_speedup\": {:.2},",
+        cold_ms / warm_ms.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"first_estimate\": {first:.6},");
+    let _ = writeln!(json, "  \"second_estimate\": {second:.6},");
+    json.push_str("  \"batch_scaling\": [\n");
+    for (i, (t, ms)) in scaling.iter().enumerate() {
+        let speedup = scaling[0].1 / ms.max(1e-9);
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {t}, \"ms\": {ms:.3}, \"speedup_vs_1\": {speedup:.2}}}{}",
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"bit_identical_across_threads\": {deterministic}");
+    json.push_str("}\n");
+
+    let out = std::env::var("NEURSC_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}");
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}

@@ -9,7 +9,10 @@ use neursc_workloads::datasets::DatasetId;
 fn main() {
     let cfg = HarnessConfig::default();
     let w = build_workload(DatasetId::Yeast, &cfg);
-    header("Figure 10: robustness across query sizes (train on Q16)", &w);
+    header(
+        "Figure 10: robustness across query sizes (train on Q16)",
+        &w,
+    );
 
     let train: Vec<(neursc_graph::Graph, u64)> = w
         .query_sets

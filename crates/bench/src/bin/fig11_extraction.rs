@@ -42,7 +42,13 @@ fn main() {
             items
                 .iter()
                 .map(|(q, c)| {
-                    prepare_query_perfect(q, &w.graph, &methods::neursc_config(&cfg), *c, oracle_budget)
+                    prepare_query_perfect(
+                        q,
+                        &w.graph,
+                        &methods::neursc_config(&cfg),
+                        *c,
+                        oracle_budget,
+                    )
                 })
                 .collect()
         };

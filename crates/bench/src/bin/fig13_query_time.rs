@@ -1,19 +1,24 @@
 //! Figure 13 — average query processing time of every method on one
 //! dataset (learning-based methods are timed after training).
 //!
-//! Usage: `fig13_query_time [dataset]` (default: yeast).
+//! Usage: `fig13_query_time [dataset] [--threads T]` (default: yeast, 1).
 
 use neursc_bench::harness::{build_workload, fit_and_evaluate, header, HarnessConfig};
 use neursc_bench::methods;
 use neursc_workloads::datasets::DatasetId;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "yeast".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "yeast".into());
     let id = DatasetId::parse(&arg).unwrap_or_else(|| {
         eprintln!("unknown dataset {arg:?}");
         std::process::exit(2);
     });
-    let cfg = HarnessConfig::default();
+    let cfg = HarnessConfig::default().with_cli_threads(&args);
     let w = build_workload(id, &cfg);
     header("Figure 13: query processing time", &w);
 

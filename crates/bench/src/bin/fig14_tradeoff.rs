@@ -23,7 +23,10 @@ fn main() {
     // and DBLP Q4 (≈4) — which is the regime §5.8's dial actually targets.
     for (id, size) in [(DatasetId::Youtube, 4usize), (DatasetId::Dblp, 4)] {
         let w = build_workload_sizes(id, &[size], &cfg);
-        header(&format!("Figure 14: trade-off on {} Q{size}", id.name()), &w);
+        header(
+            &format!("Figure 14: trade-off on {} Q{size}", id.name()),
+            &w,
+        );
         let (_, labeled) = &w.query_sets[0];
         if labeled.len() < 5 {
             println!("not enough solvable queries ({})\n", labeled.len());
@@ -54,8 +57,9 @@ fn main() {
             let errs: Vec<f64> = prepared
                 .iter()
                 .map(|(pq, c)| {
-                    let e =
-                        neursc_core::sampling::estimate_with_sample_rate(&model, pq, rate, &mut rng);
+                    let e = neursc_core::sampling::estimate_with_sample_rate(
+                        &model, pq, rate, &mut rng,
+                    );
                     signed_q_error(e, *c as f64)
                 })
                 .collect();

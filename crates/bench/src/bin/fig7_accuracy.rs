@@ -13,7 +13,9 @@ use neursc_workloads::datasets::DatasetId;
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "yeast".into());
     let id = DatasetId::parse(&arg).unwrap_or_else(|| {
-        eprintln!("unknown dataset {arg:?}; expected one of Yeast/Human/HPRD/Wordnet/DBLP/EU2005/Youtube");
+        eprintln!(
+            "unknown dataset {arg:?}; expected one of Yeast/Human/HPRD/Wordnet/DBLP/EU2005/Youtube"
+        );
         std::process::exit(2);
     });
     let cfg = HarnessConfig::default();
@@ -32,7 +34,11 @@ fn main() {
             lineup.extend(methods::nsic_methods(&cfg));
         }
         lineup.push(methods::lss(&cfg));
-        lineup.push(methods::neursc_variant(&cfg, Variant::IntraOnly, "NeurSC-I"));
+        lineup.push(methods::neursc_variant(
+            &cfg,
+            Variant::IntraOnly,
+            "NeurSC-I",
+        ));
         lineup.push(methods::neursc_variant(&cfg, Variant::DualOnly, "NeurSC-D"));
         lineup.push(methods::neursc(&cfg));
 

@@ -10,7 +10,10 @@ use neursc_workloads::datasets::DatasetId;
 fn main() {
     let cfg = HarnessConfig::default();
     let w = build_workload(DatasetId::Yeast, &cfg);
-    header("Figure 9: q-error varying query characteristics (Yeast)", &w);
+    header(
+        "Figure 9: q-error varying query characteristics (Yeast)",
+        &w,
+    );
 
     let all: Vec<(neursc_graph::Graph, u64)> = w
         .query_sets

@@ -22,12 +22,7 @@ fn main() {
             let r = table3_row(id, size, cfg.queries_per_set, &gt);
             println!(
                 "{:<9} {:>5} {:>10} {:>10} {:>10} – {:<10.2e}",
-                r.name,
-                r.size,
-                r.generated,
-                r.solvable,
-                r.count_range.0,
-                r.count_range.1 as f64,
+                r.name, r.size, r.generated, r.solvable, r.count_range.0, r.count_range.1 as f64,
             );
         }
     }

@@ -35,7 +35,11 @@ fn main() {
             t.elapsed().as_secs_f64()
         };
         let t_lss = time(methods::lss(&cfg));
-        let t_i = time(methods::neursc_variant(&cfg, Variant::IntraOnly, "NeurSC-I"));
+        let t_i = time(methods::neursc_variant(
+            &cfg,
+            Variant::IntraOnly,
+            "NeurSC-I",
+        ));
         let t_d = time(methods::neursc_variant(&cfg, Variant::DualOnly, "NeurSC-D"));
         let t_full = time(methods::neursc(&cfg));
         println!(

@@ -24,6 +24,10 @@ pub struct HarnessConfig {
     pub test_frac: f64,
     /// Split seed.
     pub seed: u64,
+    /// Worker threads for the NeurSC pipeline (`NEURSC_THREADS`, or
+    /// `--threads` in binaries that parse it). Results are thread-count
+    /// independent; this only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -40,7 +44,26 @@ impl Default for HarnessConfig {
             epochs: env_num("NEURSC_EPOCHS", 12),
             test_frac: 0.2,
             seed: 7,
+            threads: env_num("NEURSC_THREADS", 1).max(1),
         }
+    }
+}
+
+impl HarnessConfig {
+    /// Applies `--threads N` from a raw argv slice on top of the
+    /// env-derived default, and pushes the setting into the nn kernels.
+    pub fn with_cli_threads(mut self, args: &[String]) -> Self {
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            if let Some(t) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                self.threads = t.max(1);
+            }
+        }
+        neursc_core::Parallelism {
+            threads: self.threads,
+            ..neursc_core::Parallelism::default()
+        }
+        .apply_to_kernels();
+        self
     }
 }
 
@@ -223,6 +246,7 @@ mod tests {
             epochs: 2,
             test_frac: 0.34,
             seed: 1,
+            threads: 1,
         }
     }
 
@@ -275,6 +299,7 @@ mod kfold_tests {
             epochs: 1,
             test_frac: 0.2,
             seed: 2,
+            threads: 1,
         };
         let w = build_workload_sizes(DatasetId::Yeast, &[4], &cfg);
         let (_, labeled) = &w.query_sets[0];

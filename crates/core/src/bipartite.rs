@@ -96,17 +96,26 @@ fn connect_components(edges: &mut EdgeList, nq: usize, ns: usize, rng: &mut StdR
         if r == root0 {
             continue;
         }
-        let members: Vec<u32> = (0..n as u32).filter(|&v| comp_of[v as usize] == r).collect();
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&v| comp_of[v as usize] == r)
+            .collect();
         // Choose a query-side endpoint and a data-side endpoint spanning
         // the two components.
-        let q_in: Vec<u32> = members.iter().copied().filter(|&v| (v as usize) < nq).collect();
-        let d_in: Vec<u32> = members.iter().copied().filter(|&v| (v as usize) >= nq).collect();
+        let q_in: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < nq)
+            .collect();
+        let d_in: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) >= nq)
+            .collect();
         let (a, b) = if !q_in.is_empty() {
             // orphan has a query vertex → connect it to a random data vertex
             // of the main component
             let qv = q_in[rng.gen_range(0..q_in.len())];
-            let dv = pick_from_component(&comp_of, root0, nq, n, true, rng)
-                .unwrap_or(nq as u32);
+            let dv = pick_from_component(&comp_of, root0, nq, n, true, rng).unwrap_or(nq as u32);
             (qv, dv)
         } else {
             // orphan is data-only → connect to a random query vertex of the
@@ -234,23 +243,24 @@ mod tests {
         // components in G_B unless connectors are added.
         let q = neursc_graph::Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
         let sub = Substructure {
-            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)])
-                .unwrap(),
+            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)]).unwrap(),
             origin: vec![10, 11, 12, 13],
             local_cs: vec![vec![0, 1], vec![2, 3]],
         };
         let mut rng = StdRng::seed_from_u64(3);
         let e = build_bipartite_edges(&q, &sub, &mut rng);
         assert!(connected(&e), "connector edges must make G_B connected");
-        assert!(e.len() > 8, "extra edges beyond the 8 candidate-directed ones");
+        assert!(
+            e.len() > 8,
+            "extra edges beyond the 8 candidate-directed ones"
+        );
     }
 
     #[test]
     fn connector_edges_are_deterministic_in_seed() {
         let q = neursc_graph::Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
         let sub = Substructure {
-            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)])
-                .unwrap(),
+            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)]).unwrap(),
             origin: vec![10, 11, 12, 13],
             local_cs: vec![vec![0, 1], vec![2, 3]],
         };
@@ -273,8 +283,7 @@ mod ablation_tests {
     fn unconnected_variant_skips_connector_edges() {
         let q = neursc_graph::Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
         let sub = Substructure {
-            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)])
-                .unwrap(),
+            graph: neursc_graph::Graph::from_edges(4, &[0, 0, 1, 1], &[(0, 1), (2, 3)]).unwrap(),
             origin: vec![10, 11, 12, 13],
             local_cs: vec![vec![0, 1], vec![2, 3]],
         };

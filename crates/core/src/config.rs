@@ -32,6 +32,50 @@ pub enum Variant {
     NoExtraction,
 }
 
+/// Thread-count and kernel-granularity knobs for the estimation pipeline.
+///
+/// Parallelism never changes results: with a fixed seed, estimates are
+/// bit-identical at any `threads` value (work is reduced in index order and
+/// every parallel kernel keeps per-row operation order fixed — see
+/// DESIGN.md "Concurrency & caching architecture").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for query-batch and per-substructure fan-out, and for
+    /// the row-blocked tensor kernels. 1 = fully sequential.
+    pub threads: usize,
+    /// Minimum output rows before a tensor kernel fans out (below this,
+    /// thread-spawn overhead dominates). Mirrors
+    /// `neursc_nn::parallel::min_parallel_rows`.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            threads: 1,
+            min_parallel_rows: 256,
+        }
+    }
+}
+
+impl Parallelism {
+    /// A given thread count with the default kernel granularity.
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            ..Parallelism::default()
+        }
+    }
+
+    /// Pushes these settings into the process-wide tensor-kernel
+    /// configuration (`neursc_nn::parallel`). Call once after building or
+    /// loading a model; the fan-out layers read `threads` directly from the
+    /// config, but the matmul/transpose kernels are global.
+    pub fn apply_to_kernels(&self) {
+        neursc_nn::parallel::configure(self.threads, self.min_parallel_rows);
+    }
+}
+
 /// Full configuration of a [`crate::NeurSc`] model.
 #[derive(Debug, Clone)]
 pub struct NeurScConfig {
@@ -86,6 +130,8 @@ pub struct NeurScConfig {
     pub max_substructure_vertices: Option<usize>,
     /// RNG seed for weight init, batching and `G_B` connector edges.
     pub seed: u64,
+    /// Estimation-pipeline parallelism (bit-deterministic at any setting).
+    pub parallelism: Parallelism,
 }
 
 impl Default for NeurScConfig {
@@ -123,6 +169,7 @@ impl Default for NeurScConfig {
             gb_connect_components: true,
             max_substructure_vertices: Some(4096),
             seed: 0,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -174,6 +221,12 @@ impl NeurScConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the pipeline thread count (estimates stay bit-identical).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism.threads = threads.max(1);
         self
     }
 

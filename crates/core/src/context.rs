@@ -1,0 +1,40 @@
+//! Shared per-data-graph computation caches.
+//!
+//! A [`GraphContext`] bundles the two caches of expensive graph-wide
+//! precomputations the pipeline repeats across a query batch:
+//!
+//! * [`neursc_match::ProfileCache`] — `all_profiles(G, r)` used by local
+//!   pruning (the `O(|G|)` part of candidate filtering);
+//! * [`neursc_gnn::FeatureCache`] — `init_features(G)` used when a variant
+//!   featurizes the whole data graph (`NeurSC w/o SE`).
+//!
+//! Both key by graph content fingerprint, so one context can serve any
+//! number of data graphs and a rebuilt graph can never see stale entries.
+//! The context is `Sync`; the batched entry points
+//! ([`crate::NeurSc::estimate_batch`], [`crate::NeurSc::fit`]) share one
+//! across their worker threads.
+
+use neursc_gnn::FeatureCache;
+use neursc_match::ProfileCache;
+
+/// Shared caches for estimation/training against one or more data graphs.
+#[derive(Debug, Default)]
+pub struct GraphContext {
+    /// Data-graph vertex-profile cache (local pruning).
+    pub profiles: ProfileCache,
+    /// Data-graph feature-matrix cache (whole-graph featurization).
+    pub features: FeatureCache,
+}
+
+impl GraphContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cached entries from both caches.
+    pub fn clear(&self) {
+        self.profiles.clear();
+        self.features.clear();
+    }
+}

@@ -158,10 +158,7 @@ fn assign(
 /// §5.5 improves upon: pick the query vertices minimizing `f_ω(h_u)` and —
 /// independently, ignoring candidate sets — the data vertices maximizing
 /// `f_ω(h_v)`. Used by the `NeurSC-UNC` ablation (DESIGN.md §5).
-pub fn select_correspondence_unconstrained(
-    f_q: &[f32],
-    f_s: &[f32],
-) -> (Vec<u32>, Vec<u32>) {
+pub fn select_correspondence_unconstrained(f_q: &[f32], f_s: &[f32]) -> (Vec<u32>, Vec<u32>) {
     let k = f_q.len().min(f_s.len());
     let mut qs: Vec<u32> = (0..f_q.len() as u32).collect();
     qs.sort_by(|&a, &b| {

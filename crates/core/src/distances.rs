@@ -43,11 +43,9 @@ pub fn select_nearest_pairs(
 
 fn value_distance(a: &[f32], b: &[f32], metric: DiscriminatorMetric) -> f32 {
     match metric {
-        DiscriminatorMetric::Wasserstein | DiscriminatorMetric::Euclidean => a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum(),
+        DiscriminatorMetric::Wasserstein | DiscriminatorMetric::Euclidean => {
+            a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+        }
         DiscriminatorMetric::KullbackLeibler => {
             let (p, q) = (softmax_slice(a), softmax_slice(b));
             kl_slice(&p, &q)
@@ -142,8 +140,7 @@ mod tests {
         let h_q = Tensor::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]);
         let h_s = Tensor::from_rows(&[&[0.1, 0.0], &[4.9, 5.1], &[100.0, 0.0]]);
         let cs = vec![vec![0, 2], vec![1, 2]];
-        let (qs, ds) =
-            select_nearest_pairs(&h_q, &h_s, &cs, DiscriminatorMetric::Euclidean);
+        let (qs, ds) = select_nearest_pairs(&h_q, &h_s, &cs, DiscriminatorMetric::Euclidean);
         assert_eq!(qs, vec![0, 1]);
         assert_eq!(ds, vec![0, 1]);
     }
@@ -193,7 +190,10 @@ mod tests {
             let l_diff = metric_loss(&mut tape, a, b, &[0], &[0], metric);
             assert!(tape.value(l_diff).item() > 0.0, "{metric:?} not positive");
             let l_same = metric_loss(&mut tape, a, a, &[0], &[0], metric);
-            assert!(tape.value(l_same).item().abs() < 1e-5, "{metric:?} not zero");
+            assert!(
+                tape.value(l_same).item().abs() < 1e-5,
+                "{metric:?} not zero"
+            );
         }
     }
 

@@ -6,10 +6,11 @@
 //! remap each query vertex's candidates into component-local ids.
 
 use crate::config::NeurScConfig;
+use crate::context::GraphContext;
 use neursc_graph::induced::{connected_components, induced_subgraph};
 use neursc_graph::types::VertexId;
 use neursc_graph::Graph;
-use neursc_match::{filter_candidates, CandidateSets};
+use neursc_match::{filter_candidates, filter_candidates_with, CandidateSets};
 
 /// One connected candidate substructure with local candidate sets.
 #[derive(Debug, Clone)]
@@ -51,13 +52,38 @@ pub struct Extraction {
 impl Extraction {
     /// Total vertices across all retained substructures.
     pub fn total_substructure_vertices(&self) -> usize {
-        self.substructures.iter().map(|s| s.graph.n_vertices()).sum()
+        self.substructures
+            .iter()
+            .map(|s| s.graph.n_vertices())
+            .sum()
     }
 }
 
 /// Runs filtering + extraction for `(q, G)` under `cfg`.
 pub fn extract_substructures(q: &Graph, g: &Graph, cfg: &NeurScConfig) -> Extraction {
-    let candidates = filter_candidates(q, g, &cfg.filter);
+    extract_from_candidates(q, g, cfg, filter_candidates(q, g, &cfg.filter))
+}
+
+/// [`extract_substructures`] with the data-graph profiles served from a
+/// shared [`GraphContext`] — identical output, but the `all_profiles(G, r)`
+/// precomputation is paid once per `(G, r)` instead of once per query.
+pub fn extract_substructures_with(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    ctx: &GraphContext,
+) -> Extraction {
+    let profiles = ctx.profiles.profiles(g, cfg.filter.profile_radius);
+    let candidates = filter_candidates_with(q, g, &cfg.filter, &profiles);
+    extract_from_candidates(q, g, cfg, candidates)
+}
+
+fn extract_from_candidates(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    candidates: CandidateSets,
+) -> Extraction {
     if candidates.is_trivially_zero() {
         return Extraction {
             candidates,
@@ -65,7 +91,8 @@ pub fn extract_substructures(q: &Graph, g: &Graph, cfg: &NeurScConfig) -> Extrac
             trivially_zero: true,
         };
     }
-    let union = candidates.union();
+    let mut union = Vec::new();
+    candidates.union_into(&mut union);
     let g_sub = induced_subgraph(g, &union);
     let components = connected_components(&g_sub.graph);
 
@@ -235,14 +262,10 @@ mod tests {
     fn small_components_are_skipped() {
         // Data: a triangle of label 0/1/2 plus one far-away isolated pair
         // with the same labels but too small to host the 3-vertex query.
-        let g = neursc_graph::Graph::from_edges(
-            5,
-            &[0, 1, 2, 0, 1],
-            &[(0, 1), (1, 2), (0, 2), (3, 4)],
-        )
-        .unwrap();
-        let q = neursc_graph::Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2), (0, 2)])
-            .unwrap();
+        let g =
+            neursc_graph::Graph::from_edges(5, &[0, 1, 2, 0, 1], &[(0, 1), (1, 2), (0, 2), (3, 4)])
+                .unwrap();
+        let q = neursc_graph::Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let ex = extract_substructures(&q, &g, &cfg());
         assert_eq!(ex.substructures.len(), 1);
         assert_eq!(ex.substructures[0].origin, vec![0, 1, 2]);
@@ -266,6 +289,28 @@ mod tests {
         assert!(sub.covers_all());
         // The hub must survive truncation (it is the only label-0 candidate).
         assert!(sub.origin.contains(&0));
+    }
+
+    #[test]
+    fn cached_extraction_is_identical_to_uncached() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let ctx = GraphContext::new();
+        let plain = extract_substructures(&q, &g, &cfg());
+        let cached = extract_substructures_with(&q, &g, &cfg(), &ctx);
+        // Second call hits the warmed cache and must still agree.
+        let cached2 = extract_substructures_with(&q, &g, &cfg(), &ctx);
+        for ex in [&cached, &cached2] {
+            assert_eq!(ex.candidates, plain.candidates);
+            assert_eq!(ex.trivially_zero, plain.trivially_zero);
+            assert_eq!(ex.substructures.len(), plain.substructures.len());
+            for (a, b) in ex.substructures.iter().zip(&plain.substructures) {
+                assert_eq!(a.graph, b.graph);
+                assert_eq!(a.origin, b.origin);
+                assert_eq!(a.local_cs, b.local_cs);
+            }
+        }
+        assert_eq!(ctx.profiles.len(), 1);
     }
 
     #[test]

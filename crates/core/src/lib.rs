@@ -48,17 +48,21 @@
 
 pub mod bipartite;
 pub mod config;
+pub mod context;
 pub mod discriminator;
 pub mod distances;
 pub mod extraction;
 pub mod loss;
 pub mod model;
+pub mod parallel;
 pub mod persist;
 pub mod sampling;
 pub mod train;
 pub mod west;
 
-pub use config::{DiscriminatorMetric, NeurScConfig, Variant};
-pub use extraction::{extract_substructures, Extraction, Substructure};
+pub use config::{DiscriminatorMetric, NeurScConfig, Parallelism, Variant};
+pub use context::GraphContext;
+pub use extraction::{extract_substructures, extract_substructures_with, Extraction, Substructure};
 pub use loss::q_error;
 pub use model::NeurSc;
+pub use parallel::parallel_map_indexed;

@@ -1,9 +1,11 @@
 //! The top-level NeurSC model (paper Algorithm 1).
 
 use crate::config::NeurScConfig;
+use crate::context::GraphContext;
 use crate::discriminator::Discriminator;
 use crate::loss::q_error;
-use crate::train::{forward_prepared, prepare_query, run_training, PreparedQuery, TrainReport};
+use crate::parallel::parallel_map_indexed;
+use crate::train::{prepare_query, prepare_query_with, run_training, PreparedQuery, TrainReport};
 use crate::west::WEst;
 use neursc_graph::Graph;
 use neursc_nn::{ParamStore, Tape};
@@ -76,16 +78,41 @@ impl NeurSc {
     }
 
     /// Trains on `(query, exact count)` pairs against `g` (both phases of
-    /// §5.6).
+    /// §5.6). Query preparation (filtering, extraction, featurization) runs
+    /// through a shared [`GraphContext`] and fans out over
+    /// `config.parallelism.threads` workers; the result is independent of
+    /// the thread count.
     pub fn fit(&mut self, g: &Graph, train: &[(Graph, u64)]) -> Result<TrainReport, TrainError> {
         if train.is_empty() {
             return Err(TrainError::NoTrainingData);
         }
-        let prepared: Vec<PreparedQuery> = train
-            .iter()
-            .map(|(q, c)| prepare_query(q, g, &self.config, *c))
-            .collect();
+        let ctx = GraphContext::new();
+        let prepared = self.prepare_batch(g, train, &ctx);
         Ok(run_training(self, &prepared))
+    }
+
+    /// Prepares a labeled query batch in parallel against a shared context.
+    /// Results are in input order regardless of scheduling.
+    pub fn prepare_batch(
+        &self,
+        g: &Graph,
+        batch: &[(Graph, u64)],
+        ctx: &GraphContext,
+    ) -> Vec<PreparedQuery> {
+        // Warm the per-(G, r) cache once so workers don't race to compute
+        // the same profiles (the cache tolerates that, but the duplicated
+        // work would waste exactly the time the cache exists to save).
+        if !batch.is_empty() {
+            if self.config.uses_extraction() {
+                let _ = ctx.profiles.profiles(g, self.config.filter.profile_radius);
+            } else {
+                let _ = ctx.features.features(g, &self.config.features);
+            }
+        }
+        parallel_map_indexed(batch.len(), self.config.parallelism.threads, |i| {
+            let (q, c) = &batch[i];
+            prepare_query_with(q, g, &self.config, *c, ctx)
+        })
     }
 
     /// Trains on queries that are already prepared (lets benchmark
@@ -109,27 +136,81 @@ impl NeurSc {
         self.estimate_prepared(&pq)
     }
 
-    /// Estimation over a prepared query.
+    /// [`NeurSc::estimate`] with data-graph precomputations served from a
+    /// shared [`GraphContext`] — the single-query entry point of the cached
+    /// pipeline. Identical value; repeated queries against one `G` skip the
+    /// graph-wide profile computation.
+    pub fn estimate_with(&self, q: &Graph, g: &Graph, ctx: &GraphContext) -> f64 {
+        let pq = prepare_query_with(q, g, &self.config, 0, ctx);
+        self.estimate_prepared(&pq).count
+    }
+
+    /// Estimation over a prepared query. Per-substructure WEst forwards are
+    /// independent (each runs on its own fresh tape), so they fan out over
+    /// `config.parallelism.threads` workers; the per-substructure log
+    /// counts are reduced in substructure order, making the sum — and hence
+    /// `ĉ(q)` — bit-identical at any thread count.
     pub fn estimate_prepared(&self, pq: &PreparedQuery) -> EstimateDetail {
-        let mut tape = Tape::new();
-        match forward_prepared(self, &mut tape, pq) {
-            None => EstimateDetail {
+        self.estimate_prepared_threads(pq, self.config.parallelism.threads)
+    }
+
+    /// [`NeurSc::estimate_prepared`] with an explicit thread count — used
+    /// by [`NeurSc::estimate_batch`] to keep substructure fan-out
+    /// sequential inside already-parallel per-query workers.
+    fn estimate_prepared_threads(&self, pq: &PreparedQuery, threads: usize) -> EstimateDetail {
+        if pq.trivially_zero || pq.subs.is_empty() {
+            return EstimateDetail {
                 count: 0.0,
                 n_substructures: 0,
                 trivially_zero: pq.trivially_zero,
-            },
-            Some((_, zs)) => {
-                let count: f64 = zs
-                    .iter()
-                    .map(|&z| (tape.value(z).item() as f64).exp())
-                    .sum();
-                EstimateDetail {
-                    count,
-                    n_substructures: zs.len(),
-                    trivially_zero: false,
-                }
+            };
+        }
+        let logs = parallel_map_indexed(pq.subs.len(), threads, |i| {
+            let sub = &pq.subs[i];
+            let mut tape = Tape::new();
+            let out = self.west.forward_pair(
+                &mut tape,
+                &self.store,
+                &pq.x_q,
+                &pq.q_edges,
+                &sub.x,
+                &sub.edges,
+                &sub.gb,
+            );
+            tape.value(out.log_count).item() as f64
+        });
+        EstimateDetail {
+            count: logs.iter().map(|z| z.exp()).sum(),
+            n_substructures: logs.len(),
+            trivially_zero: false,
+        }
+    }
+
+    /// Batched estimation: prepares and estimates every query against `g`
+    /// with `config.parallelism.threads` workers sharing the context's
+    /// caches. Returns one [`EstimateDetail`] per query, in input order;
+    /// with a fixed seed the results are bit-identical to calling
+    /// [`NeurSc::estimate_with`] per query sequentially.
+    pub fn estimate_batch(
+        &self,
+        queries: &[Graph],
+        g: &Graph,
+        ctx: &GraphContext,
+    ) -> Vec<EstimateDetail> {
+        if !queries.is_empty() {
+            if self.config.uses_extraction() {
+                let _ = ctx.profiles.profiles(g, self.config.filter.profile_radius);
+            } else {
+                let _ = ctx.features.features(g, &self.config.features);
             }
         }
+        parallel_map_indexed(queries.len(), self.config.parallelism.threads, |i| {
+            let pq = prepare_query_with(&queries[i], g, &self.config, 0, ctx);
+            // Substructure fan-out stays sequential here: the per-query
+            // fan-out already occupies the configured workers, and nesting
+            // scopes would oversubscribe without changing results.
+            self.estimate_prepared_threads(&pq, 1)
+        })
     }
 
     /// The §5.8 trade-off: estimates from a uniform substructure sample of

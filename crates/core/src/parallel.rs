@@ -1,0 +1,78 @@
+//! Deterministic work-stealing fan-out for the estimation pipeline.
+//!
+//! One primitive covers both fan-out axes (queries within a batch,
+//! substructures within a query): map `f` over `0..n` with a fixed number
+//! of scoped worker threads pulling indices from a shared atomic counter,
+//! and return results **in index order**. Scheduling is nondeterministic;
+//! the result vector is not — every downstream reduction (summing
+//! per-substructure counts, concatenating per-query estimates) consumes
+//! the indexed vector, so a fixed seed produces bit-identical output at any
+//! thread count. This is the same pattern `neursc_workloads::ground_truth`
+//! uses for exact counting.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `0..n` with up to `threads` workers, returning results in
+/// index order. `threads <= 1` (or `n <= 1`) runs inline on the caller's
+/// stack with no spawning or locking.
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // One slot per item: workers never contend on a slot, and `Mutex` keeps
+    // the API safe without `unsafe` scatter-writes.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i));
+            });
+        }
+    })
+    .expect("fan-out worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("work item skipped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = parallel_map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_items_yield_empty() {
+        assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn every_index_is_processed_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map_indexed(257, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+}

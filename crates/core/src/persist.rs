@@ -11,7 +11,7 @@
 //! ...
 //! ```
 
-use crate::config::{DiscriminatorMetric, NeurScConfig, Variant};
+use crate::config::{DiscriminatorMetric, NeurScConfig, Parallelism, Variant};
 use crate::model::NeurSc;
 use neursc_gnn::{AttentionConfig, FeatureConfig, GinConfig};
 use neursc_match::FilterConfig;
@@ -60,6 +60,11 @@ pub fn model_to_string(model: &NeurSc) -> String {
             .unwrap_or_else(|| "none".into()),
     );
     kv("seed", c.seed.to_string());
+    kv("threads", c.parallelism.threads.to_string());
+    kv(
+        "min_parallel_rows",
+        c.parallelism.min_parallel_rows.to_string(),
+    );
     out.push_str("---\n");
     out.push_str(&store_to_string(&model.store));
     out
@@ -179,14 +184,29 @@ pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
         adversarial_epochs: parse_num("adversarial_epochs")?,
         clamp: parse_f("clamp")?,
         sample_rate: parse_f("sample_rate")? as f64,
-        gb_connect_components: kv
-            .get("gb_connect_components")
-            .is_none_or(|v| v == "true"),
+        gb_connect_components: kv.get("gb_connect_components").is_none_or(|v| v == "true"),
         candidate_guided_correspondence: kv
             .get("candidate_guided_correspondence")
             .is_none_or(|v| v == "true"),
         max_substructure_vertices: max_sub,
         seed,
+        // Pre-parallelism model files carry no thread keys; fall back to
+        // the sequential default rather than rejecting them.
+        parallelism: Parallelism {
+            threads: kv
+                .get("threads")
+                .map_or(Ok(Parallelism::default().threads), |v| {
+                    v.parse()
+                        .map_err(|_| SerializeError::Parse("bad threads".into()))
+                })?,
+            min_parallel_rows: kv.get("min_parallel_rows").map_or(
+                Ok(Parallelism::default().min_parallel_rows),
+                |v| {
+                    v.parse()
+                        .map_err(|_| SerializeError::Parse("bad min_parallel_rows".into()))
+                },
+            )?,
+        },
     };
 
     let mut model = NeurSc::new(config, seed);
@@ -236,11 +256,32 @@ mod tests {
         let model = NeurSc::new(cfg, 3);
         let restored = model_from_string(&model_to_string(&model)).unwrap();
         assert_eq!(restored.config.variant, Variant::DualOnly);
-        assert_eq!(
-            restored.config.metric,
-            DiscriminatorMetric::JensenShannon
-        );
+        assert_eq!(restored.config.metric, DiscriminatorMetric::JensenShannon);
         assert!(restored.disc.is_none());
+    }
+
+    #[test]
+    fn roundtrip_preserves_parallelism_and_old_files_default_to_sequential() {
+        use crate::config::Parallelism;
+        let mut cfg = NeurScConfig::small();
+        cfg.parallelism = Parallelism {
+            threads: 4,
+            min_parallel_rows: 64,
+        };
+        let model = NeurSc::new(cfg, 13);
+        let text = model_to_string(&model);
+        let restored = model_from_string(&text).unwrap();
+        assert_eq!(restored.config.parallelism.threads, 4);
+        assert_eq!(restored.config.parallelism.min_parallel_rows, 64);
+
+        // A file written before the parallelism keys existed must still load.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("threads") && !l.starts_with("min_parallel_rows"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let old = model_from_string(&stripped).unwrap();
+        assert_eq!(old.config.parallelism, Parallelism::default());
     }
 
     #[test]

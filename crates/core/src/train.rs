@@ -20,6 +20,7 @@
 
 use crate::bipartite::build_bipartite_edges_with;
 use crate::config::{DiscriminatorMetric, NeurScConfig};
+use crate::context::GraphContext;
 use crate::discriminator::{
     select_correspondence, select_correspondence_unconstrained, wasserstein_loss,
 };
@@ -68,14 +69,42 @@ pub struct PreparedQuery {
 
 /// Featurizes one query against the data graph under `cfg`.
 pub fn prepare_query(q: &Graph, g: &Graph, cfg: &NeurScConfig, truth: u64) -> PreparedQuery {
+    prepare_query_impl(q, g, cfg, truth, None)
+}
+
+/// [`prepare_query`] with the data-graph precomputations (vertex profiles,
+/// whole-graph features) served from a shared [`GraphContext`]. Identical
+/// output; the graph-wide work is paid once per data graph instead of once
+/// per query. This is the entry point the batched pipeline uses.
+pub fn prepare_query_with(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    truth: u64,
+    ctx: &GraphContext,
+) -> PreparedQuery {
+    prepare_query_impl(q, g, cfg, truth, Some(ctx))
+}
+
+fn prepare_query_impl(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    truth: u64,
+    ctx: Option<&GraphContext>,
+) -> PreparedQuery {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e75_7263_7363_u64);
     let x_q = init_features(q, &cfg.features);
     let q_edges = EdgeList::from_graph(q);
 
     if !cfg.uses_extraction() {
         // NeurSC w/o SE: the "substructure" is the entire data graph.
+        let x_g = match ctx {
+            Some(ctx) => (*ctx.features.features(g, &cfg.features)).clone(),
+            None => init_features(g, &cfg.features),
+        };
         let sub = PreparedSub {
-            x: init_features(g, &cfg.features),
+            x: x_g,
             edges: EdgeList::from_graph(g),
             gb: EdgeList::from_pairs(&[], q.n_vertices() + g.n_vertices()),
             local_cs: vec![Vec::new(); q.n_vertices()],
@@ -89,7 +118,10 @@ pub fn prepare_query(q: &Graph, g: &Graph, cfg: &NeurScConfig, truth: u64) -> Pr
         };
     }
 
-    let ex = extract_substructures(q, g, cfg);
+    let ex = match ctx {
+        Some(ctx) => crate::extraction::extract_substructures_with(q, g, cfg, ctx),
+        None => extract_substructures(q, g, cfg),
+    };
     let subs = ex
         .substructures
         .iter()

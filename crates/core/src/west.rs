@@ -61,7 +61,13 @@ impl WEst {
         // 4-layer MLP (paper §6.1): 2·rep → h → h → h → 1.
         let head = Mlp::new(
             store,
-            &[2 * rep, cfg.head_hidden, cfg.head_hidden, cfg.head_hidden, 1],
+            &[
+                2 * rep,
+                cfg.head_hidden,
+                cfg.head_hidden,
+                cfg.head_hidden,
+                1,
+            ],
             Activation::Relu,
             Activation::Identity,
             rng,

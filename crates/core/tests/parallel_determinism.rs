@@ -1,0 +1,109 @@
+//! Bit-level determinism of the parallel estimation pipeline.
+//!
+//! The tentpole guarantee: with a fixed seed, running with N worker threads
+//! produces output **bit-identical** to running sequentially. Three
+//! mechanisms make this hold and are exercised together here:
+//!
+//! * `parallel_map_indexed` stores results in per-index slots and reduces
+//!   in index order, so scheduling never changes reduction order;
+//! * the row-blocked nn kernels keep each output row's FP operation order
+//!   fixed (thread count only changes *which* worker computes a row);
+//! * query preparation derives its RNG per query from the config seed, not
+//!   from shared mutable state.
+//!
+//! Everything runs in ONE test function: the kernel thread settings are
+//! process-global, and the test harness runs `#[test]`s concurrently.
+
+use neursc_core::{GraphContext, NeurSc, NeurScConfig, Parallelism};
+use neursc_graph::generate::erdos_renyi;
+use neursc_graph::sample::{sample_query, QuerySampler};
+use neursc_graph::Graph;
+use neursc_match::profile::{paper_data_graph, paper_query_graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_config(threads: usize) -> NeurScConfig {
+    let mut c = NeurScConfig::small();
+    c.pretrain_epochs = 4;
+    c.adversarial_epochs = 2;
+    c.batch_size = 8;
+    // min_parallel_rows = 1 forces the row-blocked kernels on for every
+    // matmul/transpose, so the kernel path is genuinely exercised.
+    c.parallelism = Parallelism {
+        threads,
+        min_parallel_rows: 1,
+    };
+    c
+}
+
+fn workload(seed: u64) -> (Graph, Vec<Graph>) {
+    let g = erdos_renyi(150, 450, 4, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = (0..32)
+        .map(|_| sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap())
+        .collect();
+    (g, queries)
+}
+
+/// Runs the full pipeline (paper §4 example graphs + a 32-query batch on a
+/// generated graph) at the given thread count, returning every estimate as
+/// raw bits.
+fn run_pipeline(threads: usize) -> Vec<u64> {
+    let cfg = tiny_config(threads);
+    cfg.parallelism.apply_to_kernels();
+    let model = NeurSc::new(cfg, 42);
+    let mut bits = Vec::new();
+
+    // Paper Figure 1 graphs: the worked example from §4.
+    let (pq, pg) = (paper_query_graph(), paper_data_graph());
+    bits.push(model.estimate(&pq, &pg).to_bits());
+
+    // Batched estimation over a shared context.
+    let (g, queries) = workload(7);
+    let ctx = GraphContext::new();
+    for d in model.estimate_batch(&queries, &g, &ctx) {
+        bits.push(d.count.to_bits());
+    }
+
+    // Single-query cached path must agree with the batch.
+    bits.push(model.estimate_with(&queries[0], &g, &ctx).to_bits());
+    bits
+}
+
+#[test]
+fn threads_1_and_4_are_bit_identical() {
+    let sequential = run_pipeline(1);
+    let parallel = run_pipeline(4);
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s,
+            p,
+            "estimate {i} differs between 1 and 4 threads: {} vs {}",
+            f64::from_bits(*s),
+            f64::from_bits(*p)
+        );
+    }
+
+    // Training with the parallel preparation path is deterministic too:
+    // fit at 1 and 4 threads from identical initial weights must produce
+    // identical post-training estimates.
+    let (g, queries) = workload(9);
+    let labeled: Vec<(Graph, u64)> = queries.iter().take(8).map(|q| (q.clone(), 5)).collect();
+    let mut ests = Vec::new();
+    for threads in [1, 4] {
+        let cfg = tiny_config(threads);
+        cfg.parallelism.apply_to_kernels();
+        let mut model = NeurSc::new(cfg, 42);
+        model.fit(&g, &labeled).unwrap();
+        ests.push(model.estimate(&queries[0], &g).to_bits());
+    }
+    assert_eq!(
+        ests[0], ests[1],
+        "post-training estimates differ between 1 and 4 threads"
+    );
+
+    // Restore the process-global kernel defaults for any other test binary
+    // sharing the process (none today, but cheap insurance).
+    Parallelism::default().apply_to_kernels();
+}

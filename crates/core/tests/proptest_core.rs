@@ -45,7 +45,14 @@ fn all_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
         }
     }
     let mut out = Vec::new();
-    rec(q, g, 0, &mut vec![false; g.n_vertices()], &mut Vec::new(), &mut out);
+    rec(
+        q,
+        g,
+        0,
+        &mut vec![false; g.n_vertices()],
+        &mut Vec::new(),
+        &mut out,
+    );
     out
 }
 

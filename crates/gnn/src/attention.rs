@@ -162,7 +162,10 @@ pub struct BipartiteAttention {
 impl BipartiteAttention {
     /// Allocates the stack in `store`.
     pub fn new(store: &mut ParamStore, config: AttentionConfig, rng: &mut StdRng) -> Self {
-        assert!(config.n_layers >= 1, "attention stack needs at least one layer");
+        assert!(
+            config.n_layers >= 1,
+            "attention stack needs at least one layer"
+        );
         let mut layers = Vec::with_capacity(config.n_layers);
         let mut d = config.in_dim;
         for _ in 0..config.n_layers {
@@ -279,10 +282,18 @@ mod tests {
         let (store_a, net_a) = setup(1, false);
         let (_store_b, net_b) = setup(1, true); // same seed → same params
         let mut t1 = Tape::new();
-        let x1 = t1.constant(Tensor::from_vec(5, 6, (0..30).map(|i| i as f32 / 30.0).collect()));
+        let x1 = t1.constant(Tensor::from_vec(
+            5,
+            6,
+            (0..30).map(|i| i as f32 / 30.0).collect(),
+        ));
         let h1 = net_a.forward(&mut t1, &store_a, x1, &bipartite_edges());
         let mut t2 = Tape::new();
-        let x2 = t2.constant(Tensor::from_vec(5, 6, (0..30).map(|i| i as f32 / 30.0).collect()));
+        let x2 = t2.constant(Tensor::from_vec(
+            5,
+            6,
+            (0..30).map(|i| i as f32 / 30.0).collect(),
+        ));
         let h2 = net_b.forward(&mut t2, &store_a, x2, &bipartite_edges());
         let d: f32 = t1
             .value(h1)
@@ -310,7 +321,11 @@ mod tests {
     fn gradients_reach_attention_parameters() {
         let (mut store, net) = setup(2, false);
         let mut tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(5, 6, (0..30).map(|i| (i as f32).sin()).collect()));
+        let x = tape.constant(Tensor::from_vec(
+            5,
+            6,
+            (0..30).map(|i| (i as f32).sin()).collect(),
+        ));
         let h = net.forward(&mut tape, &store, x, &bipartite_edges());
         let pooled = tape.sum_rows(h);
         let sq = tape.mul(pooled, pooled);

@@ -1,0 +1,127 @@
+//! Shared, thread-safe cache of data-graph feature matrices.
+//!
+//! [`crate::init_features`] walks every vertex's k-hop rings to build the
+//! Eq. 1 binary-encoding matrix — `O(n · d^k)` work that depends only on
+//! the graph and the [`FeatureConfig`]. Query graphs are tiny and always
+//! distinct, but the *data* graph's matrix recurs: the `NeurSC w/o SE`
+//! variant featurizes all of `G` for every query, and repeated estimates
+//! against one `G` recur in every batch workload. Same design as
+//! `neursc_match::ProfileCache`: content-fingerprint keys (a rebuilt graph
+//! can never be served stale features), `Arc`-shared values, compute-
+//! outside-the-lock with a double-check on insert.
+
+use crate::features::{init_features, FeatureConfig};
+use neursc_graph::Graph;
+use neursc_nn::Tensor;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CacheEntry {
+    fingerprint: u64,
+    config: FeatureConfig,
+    features: Arc<Tensor>,
+}
+
+/// Thread-safe `(graph, feature config) → init_features` cache.
+#[derive(Debug, Default)]
+pub struct FeatureCache {
+    entries: RwLock<Vec<CacheEntry>>,
+}
+
+impl FeatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the Eq. 1 feature matrix of `g` under `cfg`, computing and
+    /// memoizing it on first request.
+    pub fn features(&self, g: &Graph, cfg: &FeatureConfig) -> Arc<Tensor> {
+        let fp = g.content_fingerprint();
+        {
+            let entries = self.entries.read();
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.fingerprint == fp && e.config == *cfg)
+            {
+                return Arc::clone(&e.features);
+            }
+        }
+        let computed = Arc::new(init_features(g, cfg));
+        let mut entries = self.entries.write();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.fingerprint == fp && e.config == *cfg)
+        {
+            return Arc::clone(&e.features);
+        }
+        entries.push(CacheEntry {
+            fingerprint: fp,
+            config: *cfg,
+            features: Arc::clone(&computed),
+        });
+        computed
+    }
+
+    /// Number of memoized `(graph, config)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops all entries (outstanding `Arc`s stay valid).
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_shares_one_allocation() {
+        let cache = FeatureCache::new();
+        let g = Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let cfg = FeatureConfig::default();
+        let a = cache.features(&g, &cfg);
+        let b = cache.features(&g, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, init_features(&g, &cfg));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let cache = FeatureCache::new();
+        let g = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        let c1 = FeatureConfig::default();
+        let c2 = FeatureConfig {
+            k_hops: 2,
+            ..FeatureConfig::default()
+        };
+        let f1 = cache.features(&g, &c1);
+        let f2 = cache.features(&g, &c2);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(f1.cols(), f2.cols());
+    }
+
+    #[test]
+    fn rebuilt_graph_is_never_served_stale_features() {
+        let cache = FeatureCache::new();
+        let cfg = FeatureConfig::default();
+        let g = Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let before = cache.features(&g, &cfg);
+        // Same shape, one extra edge → degrees change → features change.
+        let mutated = Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let after = cache.features(&mutated, &cfg);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(*before, *after);
+        assert_eq!(*after, init_features(&mutated, &cfg));
+    }
+}

@@ -48,7 +48,11 @@ impl FeatureConfig {
 /// representable range, written into `out`.
 fn encode_binary(value: u64, bits: usize, out: &mut [f32]) {
     debug_assert_eq!(out.len(), bits);
-    let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let max = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let v = value.min(max);
     for (i, slot) in out.iter_mut().enumerate() {
         *slot = ((v >> i) & 1) as f32;
@@ -64,7 +68,11 @@ pub fn init_features(g: &Graph, cfg: &FeatureConfig) -> Tensor {
     let mut scratch = vec![0.0f32; unit];
     for v in g.vertices() {
         let row = x.row_mut(v as usize);
-        encode_binary(g.degree(v) as u64, cfg.degree_bits, &mut row[..cfg.degree_bits]);
+        encode_binary(
+            g.degree(v) as u64,
+            cfg.degree_bits,
+            &mut row[..cfg.degree_bits],
+        );
         encode_binary(
             g.label(v) as u64,
             cfg.label_bits,

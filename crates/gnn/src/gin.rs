@@ -12,8 +12,8 @@
 
 use crate::edges::EdgeList;
 use neursc_nn::layers::{Activation, Mlp};
-use neursc_nn::{ParamId, ParamStore, Tape, Var};
 use neursc_nn::Tensor;
+use neursc_nn::{ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 
 /// GIN stack configuration.
@@ -193,7 +193,10 @@ mod tests {
             .zip(e2.data())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1e-3, "GIN failed to separate WL-distinguishable graphs");
+        assert!(
+            diff > 1e-3,
+            "GIN failed to separate WL-distinguishable graphs"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`readout`] — permutation-invariant sum pooling (Eq. 6).
 
 pub mod attention;
+pub mod cache;
 pub mod edges;
 pub mod features;
 pub mod gin;
@@ -20,6 +21,7 @@ pub mod readout;
 pub mod softmax;
 
 pub use attention::{AttentionConfig, BipartiteAttention};
+pub use cache::FeatureCache;
 pub use edges::EdgeList;
 pub use features::{init_features, FeatureConfig};
 pub use gin::{GinConfig, GinStack};

@@ -70,8 +70,8 @@ proptest! {
         };
         let h = run(&g);
         let hp = run(&gp);
-        for v in 0..n {
-            let pv = perm[v] as usize;
+        for (v, &pv) in perm.iter().enumerate() {
+            let pv = pv as usize;
             for c in 0..h.cols() {
                 let (a, b) = (h.get(v, c), hp.get(pv, c));
                 prop_assert!(
@@ -131,8 +131,8 @@ proptest! {
         let gp = permute(&g, &perm);
         let x = init_features(&g, &fcfg);
         let xp = init_features(&gp, &fcfg);
-        for v in 0..n {
-            prop_assert_eq!(x.row(v), xp.row(perm[v] as usize), "vertex {}", v);
+        for (v, &pv) in perm.iter().enumerate() {
+            prop_assert_eq!(x.row(v), xp.row(pv as usize), "vertex {}", v);
         }
     }
 }

@@ -24,7 +24,10 @@ impl InducedSubgraph {
     /// Maps a parent-graph vertex to its local id, if present — `O(log k)`.
     pub fn local_id(&self, parent: VertexId) -> Option<VertexId> {
         // `origin` is sorted ascending by construction.
-        self.origin.binary_search(&parent).ok().map(|i| i as VertexId)
+        self.origin
+            .binary_search(&parent)
+            .ok()
+            .map(|i| i as VertexId)
     }
 }
 
@@ -88,10 +91,7 @@ pub fn connected_components(g: &Graph) -> Vec<InducedSubgraph> {
     for v in g.vertices() {
         members[comp[v as usize]].push(v);
     }
-    members
-        .iter()
-        .map(|vs| induced_subgraph(g, vs))
-        .collect()
+    members.iter().map(|vs| induced_subgraph(g, vs)).collect()
 }
 
 #[cfg(test)]
@@ -100,12 +100,7 @@ mod tests {
 
     fn sample() -> Graph {
         // Two components: triangle {0,1,2} and edge {3,4}; labels 0..=4.
-        Graph::from_edges(
-            5,
-            &[0, 1, 2, 3, 4],
-            &[(0, 1), (1, 2), (0, 2), (3, 4)],
-        )
-        .unwrap()
+        Graph::from_edges(5, &[0, 1, 2, 3, 4], &[(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap()
     }
 
     #[test]

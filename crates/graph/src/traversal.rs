@@ -159,8 +159,7 @@ mod tests {
     #[test]
     fn diameter_of_path_and_cycle() {
         assert_eq!(diameter(&path5()), Some(4));
-        let c4 =
-            Graph::from_edges(4, &[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let c4 = Graph::from_edges(4, &[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         assert_eq!(diameter(&c4), Some(2));
         let disc = Graph::from_edges(3, &[0; 3], &[(0, 1)]).unwrap();
         assert_eq!(diameter(&disc), None);

@@ -97,9 +97,7 @@ mod tests {
     use crate::graph::Graph;
 
     fn cycle(n: usize) -> Graph {
-        let edges: Vec<_> = (0..n)
-            .map(|i| (i as u32, ((i + 1) % n) as u32))
-            .collect();
+        let edges: Vec<_> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
         Graph::from_edges(n, &vec![0; n], &edges).unwrap()
     }
 

@@ -87,9 +87,7 @@ pub fn max_matching(g: &BipartiteGraph) -> Vec<Option<usize>> {
             for i in 0..g.adj[l].len() {
                 let r = g.adj[l][i];
                 let l2 = match_r[r];
-                if l2 == NIL
-                    || (dist[l2] == dist[l] + 1 && dfs(l2, g, dist, match_l, match_r))
-                {
+                if l2 == NIL || (dist[l2] == dist[l] + 1 && dfs(l2, g, dist, match_l, match_r)) {
                     match_l[l] = r;
                     match_r[r] = l;
                     return true;

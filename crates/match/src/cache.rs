@@ -1,0 +1,169 @@
+//! Shared, thread-safe cache of data-graph vertex profiles.
+//!
+//! Every query filtered against a data graph `G` needs `all_profiles(G, r)`
+//! — by far the most expensive graph-wide precomputation in the filtering
+//! pipeline (a BFS per vertex for `r > 1`). The profiles depend only on
+//! `(G, r)`, so across a query batch they can be computed once and shared.
+//!
+//! Entries are keyed by [`Graph::content_fingerprint`], not by pointer or
+//! name: a graph rebuilt with any change to labels or edges hashes to a
+//! different key and can never be served stale profiles (see
+//! `stale_profiles_are_never_served` below). The cache holds an unbounded
+//! list of entries — in practice one data graph × one or two radii — each
+//! behind an `Arc` so concurrent readers share one allocation.
+
+use crate::profile::{all_profiles, Profile};
+use neursc_graph::Graph;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CacheEntry {
+    fingerprint: u64,
+    radius: u32,
+    profiles: Arc<Vec<Profile>>,
+}
+
+/// Thread-safe `(graph, radius) → all_profiles` cache.
+///
+/// Readers take a shared lock; a miss computes outside any lock and then
+/// double-checks under the write lock, so concurrent first requests for the
+/// same graph do redundant work at worst, never deadlock or corruption.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    entries: RwLock<Vec<CacheEntry>>,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the radius-`r` profiles of `g`, computing and memoizing them
+    /// on first request.
+    pub fn profiles(&self, g: &Graph, r: u32) -> Arc<Vec<Profile>> {
+        let fp = g.content_fingerprint();
+        if let Some(hit) = self.lookup(fp, r) {
+            return hit;
+        }
+        let computed = Arc::new(all_profiles(g, r));
+        let mut entries = self.entries.write();
+        // Another thread may have inserted while we computed; keep the
+        // existing entry so all readers share one allocation.
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.fingerprint == fp && e.radius == r)
+        {
+            return Arc::clone(&e.profiles);
+        }
+        entries.push(CacheEntry {
+            fingerprint: fp,
+            radius: r,
+            profiles: Arc::clone(&computed),
+        });
+        computed
+    }
+
+    fn lookup(&self, fp: u64, r: u32) -> Option<Arc<Vec<Profile>>> {
+        self.entries
+            .read()
+            .iter()
+            .find(|e| e.fingerprint == fp && e.radius == r)
+            .map(|e| Arc::clone(&e.profiles))
+    }
+
+    /// Number of memoized `(graph, radius)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops all entries (outstanding `Arc`s stay valid).
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{paper_data_graph, vertex_profile};
+
+    #[test]
+    fn second_request_is_served_from_cache() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        let a = cache.profiles(&g, 2);
+        let b = cache.profiles(&g, 2);
+        assert!(Arc::ptr_eq(&a, &b), "second request recomputed");
+        assert_eq!(cache.len(), 1);
+        for v in g.vertices() {
+            assert_eq!(a[v as usize], vertex_profile(&g, v, 2));
+        }
+    }
+
+    #[test]
+    fn radii_are_cached_independently() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        let r1 = cache.profiles(&g, 1);
+        let r2 = cache.profiles(&g, 2);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(r1[3], r2[3]); // v4's 2-ball sees strictly more labels
+    }
+
+    #[test]
+    fn stale_profiles_are_never_served() {
+        // A "mutated" data graph (graphs are immutable, so mutation means a
+        // rebuilt graph with different content) must get fresh profiles.
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        let before = cache.profiles(&g, 1);
+
+        // Same topology, one label changed (v1: A → C).
+        let mut labels: Vec<u32> = g.labels().to_vec();
+        labels[0] = 2;
+        let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.u, e.v)).collect();
+        let mutated = Graph::from_edges(g.n_vertices(), &labels, &edges).unwrap();
+
+        let after = cache.profiles(&mutated, 1);
+        assert_eq!(cache.len(), 2, "mutated graph must occupy its own entry");
+        assert!(!Arc::ptr_eq(&before, &after));
+        // v4 is adjacent to v1, so its profile must reflect the new label.
+        assert_eq!(after[3], vertex_profile(&mutated, 3, 1));
+        assert_ne!(after[3], before[3]);
+        // The original graph still hits its own (unchanged) entry.
+        assert!(Arc::ptr_eq(&before, &cache.profiles(&g, 1)));
+    }
+
+    #[test]
+    fn concurrent_first_requests_converge_to_one_entry() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let p = cache.profiles(&g, 2);
+                    assert_eq!(p.len(), g.n_vertices());
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_outstanding_arcs_valid() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        let p = cache.profiles(&g, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(p.len(), g.n_vertices()); // still readable
+    }
+}

@@ -29,10 +29,19 @@ impl CandidateSets {
 
     /// `CS(q) = ∪_u CS(u)`, sorted and deduplicated.
     pub fn union(&self) -> Vec<VertexId> {
-        let mut all: Vec<VertexId> = self.sets.iter().flatten().copied().collect();
-        all.sort_unstable();
-        all.dedup();
-        all
+        let mut out = Vec::new();
+        self.union_into(&mut out);
+        out
+    }
+
+    /// [`CandidateSets::union`] into a caller-owned buffer, so repeated
+    /// unions (one per query in a batch) reuse one allocation.
+    pub fn union_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.reserve(self.total_size());
+        out.extend(self.sets.iter().flatten().copied());
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Σ_u |CS(u)| — the filtering-power metric of \[89\].
@@ -57,8 +66,22 @@ impl CandidateSets {
 /// and radius-`r` profile tests. `O(|V(q)|·|V(G)|)` pair tests but each is
 /// cheap and label-partitioned.
 pub fn local_pruning(q: &Graph, g: &Graph, r: u32) -> CandidateSets {
+    local_pruning_with(q, g, r, &all_profiles(g, r))
+}
+
+/// [`local_pruning`] with the data-graph profiles supplied by the caller —
+/// the entry point used with a [`crate::cache::ProfileCache`], which makes
+/// the `all_profiles(G, r)` term (the only `O(|G|)` precomputation here)
+/// amortizable across a query batch. Query profiles are still computed per
+/// call; they are `O(|q|)` and query-specific.
+pub fn local_pruning_with(
+    q: &Graph,
+    g: &Graph,
+    r: u32,
+    g_profiles: &[crate::profile::Profile],
+) -> CandidateSets {
+    debug_assert_eq!(g_profiles.len(), g.n_vertices());
     let q_profiles = all_profiles(q, r);
-    let g_profiles = all_profiles(g, r);
 
     // Partition data vertices by label once.
     let n_labels = g.n_labels().max(q.n_labels());
@@ -139,12 +162,8 @@ mod tests {
     #[test]
     fn degree_filter_applies() {
         // Star query: center needs degree ≥ 3.
-        let g = Graph::from_edges(
-            6,
-            &[0, 1, 1, 1, 0, 1],
-            &[(0, 1), (0, 2), (0, 3), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, &[0, 1, 1, 1, 0, 1], &[(0, 1), (0, 2), (0, 3), (4, 5)]).unwrap();
         let q = Graph::from_edges(4, &[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
         let cs = local_pruning(&q, &g, 1);
         assert_eq!(cs.get(0), &[0]); // vertex 4 (label 0, degree 1) pruned
@@ -168,8 +187,7 @@ mod tests {
     fn is_trivially_zero_when_union_too_small() {
         // Query larger than the number of distinct candidates available.
         let g = Graph::from_edges(3, &[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
-        let q =
-            Graph::from_edges(4, &[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = Graph::from_edges(4, &[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let cs = local_pruning(&q, &g, 1);
         assert!(cs.is_trivially_zero());
     }

@@ -53,12 +53,7 @@ pub fn count_embeddings(q: &Graph, g: &Graph, budget: u64) -> CountResult {
 }
 
 /// Counts embeddings using precomputed candidate sets.
-pub fn count_with_candidates(
-    q: &Graph,
-    g: &Graph,
-    cs: &CandidateSets,
-    budget: u64,
-) -> CountResult {
+pub fn count_with_candidates(q: &Graph, g: &Graph, cs: &CandidateSets, budget: u64) -> CountResult {
     if q.n_vertices() == 0 {
         // The empty query has exactly one (empty) embedding.
         return CountResult {
@@ -401,7 +396,10 @@ mod matched_set_tests {
     fn zero_match_queries_give_empty_set() {
         let g = paper_data_graph();
         let q = neursc_graph::Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
-        assert_eq!(matched_vertex_set(&q, &g, 1_000).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            matched_vertex_set(&q, &g, 1_000).unwrap(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! This is the GraphQL method the paper adopts (§4(1)), chosen in \[89\] for
 //! the best pruning power among the surveyed filters.
 
-use crate::candidates::{local_pruning, CandidateSets};
+use crate::candidates::{local_pruning_with, CandidateSets};
 use crate::refinement::global_refinement;
 use neursc_graph::Graph;
 
@@ -28,7 +28,23 @@ impl Default for FilterConfig {
 
 /// Runs the full pipeline and returns `CS(u)` for every query vertex.
 pub fn filter_candidates(q: &Graph, g: &Graph, cfg: &FilterConfig) -> CandidateSets {
-    let mut cs = local_pruning(q, g, cfg.profile_radius);
+    filter_candidates_with(
+        q,
+        g,
+        cfg,
+        &crate::profile::all_profiles(g, cfg.profile_radius),
+    )
+}
+
+/// [`filter_candidates`] with precomputed data-graph profiles (from a
+/// [`crate::cache::ProfileCache`]); identical output by construction.
+pub fn filter_candidates_with(
+    q: &Graph,
+    g: &Graph,
+    cfg: &FilterConfig,
+    g_profiles: &[crate::profile::Profile],
+) -> CandidateSets {
+    let mut cs = local_pruning_with(q, g, cfg.profile_radius, g_profiles);
     if !cs.any_empty() {
         global_refinement(q, g, &mut cs, cfg.refinement_rounds);
     }
@@ -69,6 +85,19 @@ mod tests {
         let q = neursc_graph::Graph::from_edges(2, &[0, 9], &[(0, 1)]).unwrap();
         let cs = filter_candidates(&q, &g, &FilterConfig::default());
         assert!(cs.any_empty());
+    }
+
+    #[test]
+    fn cached_profiles_give_identical_candidates() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig::default();
+        let cache = crate::cache::ProfileCache::new();
+        let profiles = cache.profiles(&g, cfg.profile_radius);
+        assert_eq!(
+            filter_candidates_with(&q, &g, &cfg, &profiles),
+            filter_candidates(&q, &g, &cfg)
+        );
     }
 
     #[test]

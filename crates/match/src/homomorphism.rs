@@ -48,7 +48,12 @@ pub fn count_homomorphisms_with_candidates(
     }
     let sets: Vec<Vec<VertexId>> = q
         .vertices()
-        .map(|u| by_label.get(q.label(u) as usize).cloned().unwrap_or_default())
+        .map(|u| {
+            by_label
+                .get(q.label(u) as usize)
+                .cloned()
+                .unwrap_or_default()
+        })
         .collect();
     let cs = CandidateSets { sets };
     if cs.any_empty() {

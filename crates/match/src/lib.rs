@@ -16,6 +16,7 @@
 //!    behind semi-perfect matching checks.
 
 pub mod bipartite;
+pub mod cache;
 pub mod candidates;
 pub mod enumerate;
 pub mod filter;
@@ -25,6 +26,7 @@ pub mod profile;
 pub mod refinement;
 pub mod treedp;
 
+pub use cache::ProfileCache;
 pub use candidates::CandidateSets;
 pub use enumerate::{count_embeddings, CountOutcome, CountResult};
-pub use filter::{filter_candidates, FilterConfig};
+pub use filter::{filter_candidates, filter_candidates_with, FilterConfig};

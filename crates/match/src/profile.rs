@@ -17,10 +17,7 @@ pub type Profile = Vec<Label>;
 
 /// Computes the radius-`r` profile of one vertex.
 pub fn vertex_profile(g: &Graph, v: VertexId, r: u32) -> Profile {
-    let mut labels: Vec<Label> = khop_ball(g, v, r)
-        .into_iter()
-        .map(|u| g.label(u))
-        .collect();
+    let mut labels: Vec<Label> = khop_ball(g, v, r).into_iter().map(|u| g.label(u)).collect();
     labels.sort_unstable();
     labels
 }
@@ -40,14 +37,45 @@ pub fn all_profiles_r1(g: &Graph) -> Vec<Profile> {
         .collect()
 }
 
-/// Computes all radius-`r` profiles (falls back to BFS per vertex for
-/// `r > 1`).
+/// Computes all radius-`r` profiles. `r = 1` uses the one-pass gather;
+/// `r > 1` runs a BFS per vertex but reuses one queue and one stamp-based
+/// visited array across all of them — per-vertex BFS allocation was the
+/// dominant cost of this path on large data graphs.
 pub fn all_profiles(g: &Graph, r: u32) -> Vec<Profile> {
     if r == 1 {
-        all_profiles_r1(g)
-    } else {
-        g.vertices().map(|v| vertex_profile(g, v, r)).collect()
+        return all_profiles_r1(g);
     }
+    let n = g.n_vertices();
+    // `visited[u] == stamp` ⇔ u reached in the BFS from vertex `stamp`.
+    let mut visited: Vec<VertexId> = vec![VertexId::MAX; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    g.vertices()
+        .map(|v| {
+            queue.clear();
+            queue.push(v);
+            visited[v as usize] = v;
+            let mut head = 0;
+            let mut frontier_end = queue.len();
+            let mut depth = 0;
+            while depth < r && head < queue.len() {
+                while head < frontier_end {
+                    let u = queue[head];
+                    head += 1;
+                    for &w in g.neighbors(u) {
+                        if visited[w as usize] != v {
+                            visited[w as usize] = v;
+                            queue.push(w);
+                        }
+                    }
+                }
+                frontier_end = queue.len();
+                depth += 1;
+            }
+            let mut labels: Vec<Label> = queue.iter().map(|&u| g.label(u)).collect();
+            labels.sort_unstable();
+            labels
+        })
+        .collect()
 }
 
 /// Multiset-inclusion test on two sorted label sequences: does `needle`
@@ -81,21 +109,21 @@ pub fn subsumes(haystack: &[Label], needle: &[Label]) -> bool {
 pub fn paper_data_graph() -> Graph {
     let labels = [0, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3];
     let edges = [
-        (0, 1),   // v1-v2
-        (0, 2),   // v1-v3
-        (0, 3),   // v1-v4
-        (1, 12),  // v2-v13
-        (2, 12),  // v3-v13
-        (3, 4),   // v4-v5
-        (3, 5),   // v4-v6
-        (3, 9),   // v4-v10
-        (3, 10),  // v4-v11
-        (4, 9),   // v5-v10
-        (4, 10),  // v5-v11
-        (5, 10),  // v6-v11
-        (6, 11),  // v7-v12
-        (7, 11),  // v8-v12
-        (8, 11),  // v9-v12
+        (0, 1),  // v1-v2
+        (0, 2),  // v1-v3
+        (0, 3),  // v1-v4
+        (1, 12), // v2-v13
+        (2, 12), // v3-v13
+        (3, 4),  // v4-v5
+        (3, 5),  // v4-v6
+        (3, 9),  // v4-v10
+        (3, 10), // v4-v11
+        (4, 9),  // v5-v10
+        (4, 10), // v5-v11
+        (5, 10), // v6-v11
+        (6, 11), // v7-v12
+        (7, 11), // v8-v12
+        (8, 11), // v9-v12
     ];
     Graph::from_edges(13, &labels, &edges).unwrap()
 }
@@ -124,6 +152,17 @@ mod tests {
         let all = all_profiles_r1(&g);
         for v in g.vertices() {
             assert_eq!(all[v as usize], vertex_profile(&g, v, 1));
+        }
+    }
+
+    #[test]
+    fn all_profiles_scratch_bfs_matches_per_vertex() {
+        let g = paper_data_graph();
+        for r in [2u32, 3, 4] {
+            let all = all_profiles(&g, r);
+            for v in g.vertices() {
+                assert_eq!(all[v as usize], vertex_profile(&g, v, r), "r={r} v={v}");
+            }
         }
     }
 

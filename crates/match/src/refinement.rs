@@ -15,12 +15,7 @@ use neursc_graph::Graph;
 
 /// Runs up to `max_rounds` refinement passes; returns the number of rounds
 /// actually performed (stops early at a fixed point).
-pub fn global_refinement(
-    q: &Graph,
-    g: &Graph,
-    cs: &mut CandidateSets,
-    max_rounds: usize,
-) -> usize {
+pub fn global_refinement(q: &Graph, g: &Graph, cs: &mut CandidateSets, max_rounds: usize) -> usize {
     for round in 0..max_rounds {
         let mut changed = false;
         for u in q.vertices() {
@@ -104,7 +99,10 @@ mod tests {
         let mut cs = local_pruning(&q, &g, 1);
         global_refinement(&q, &g, &mut cs, 8);
         for (u, v) in [(0u32, 0u32), (1, 3), (2, 4), (3, 9)] {
-            assert!(cs.contains(u, v), "refinement dropped true match pair ({u},{v})");
+            assert!(
+                cs.contains(u, v),
+                "refinement dropped true match pair ({u},{v})"
+            );
         }
     }
 
@@ -114,7 +112,10 @@ mod tests {
         let g = paper_data_graph();
         let mut cs = local_pruning(&q, &g, 1);
         let rounds = global_refinement(&q, &g, &mut cs, 100);
-        assert!(rounds < 100, "should reach a fixed point quickly, ran {rounds}");
+        assert!(
+            rounds < 100,
+            "should reach a fixed point quickly, ran {rounds}"
+        );
         // Re-running changes nothing.
         let before = cs.clone();
         global_refinement(&q, &g, &mut cs, 1);

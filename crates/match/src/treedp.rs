@@ -148,18 +148,11 @@ mod tests {
             let trees = [
                 Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap(),
                 Graph::from_edges(4, &[0, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
-                Graph::from_edges(
-                    5,
-                    &[0, 1, 2, 0, 1],
-                    &[(0, 1), (1, 2), (2, 3), (2, 4)],
-                )
-                .unwrap(),
+                Graph::from_edges(5, &[0, 1, 2, 0, 1], &[(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap(),
             ];
             for (i, t) in trees.iter().enumerate() {
                 let dp = count_tree_homomorphisms(t, &g).unwrap().count;
-                let bt = count_homomorphisms(t, &g, 1_000_000_000)
-                    .exact()
-                    .unwrap();
+                let bt = count_homomorphisms(t, &g, 1_000_000_000).exact().unwrap();
                 assert_eq!(dp, bt, "seed {seed}, tree {i}");
             }
         }
@@ -174,8 +167,8 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let q = Graph::from_edges(n as usize, &vec![0; n as usize], &edges).unwrap();
         let r = count_tree_homomorphisms(&q, &g).unwrap();
+        // Completing (fast) is the point; any count value is acceptable.
         assert_eq!(r.outcome, CountOutcome::Complete);
-        assert!(r.count > 0 || r.count == 0); // completes fast either way
     }
 
     #[test]

@@ -7,18 +7,25 @@
 //! filter pipeline. We also cross-check the backtracking counter against
 //! brute force.
 
-use neursc_match::candidates::local_pruning;
-use neursc_match::enumerate::{brute_force_count, count_embeddings};
-use neursc_match::filter::{filter_candidates, FilterConfig};
 use neursc_graph::generate::erdos_renyi;
 use neursc_graph::sample::{sample_query, QuerySampler};
 use neursc_graph::{Graph, GraphBuilder};
+use neursc_match::candidates::local_pruning;
+use neursc_match::enumerate::{brute_force_count, count_embeddings};
+use neursc_match::filter::{filter_candidates, FilterConfig};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
 /// Enumerates all embeddings (query vertex → data vertex maps) brute-force.
 fn all_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
-    fn rec(q: &Graph, g: &Graph, depth: usize, used: &mut [bool], map: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    fn rec(
+        q: &Graph,
+        g: &Graph,
+        depth: usize,
+        used: &mut [bool],
+        map: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
         if depth == q.n_vertices() {
             out.push(map.clone());
             return;
@@ -44,7 +51,14 @@ fn all_embeddings(q: &Graph, g: &Graph) -> Vec<Vec<u32>> {
         }
     }
     let mut out = Vec::new();
-    rec(q, g, 0, &mut vec![false; g.n_vertices()], &mut Vec::new(), &mut out);
+    rec(
+        q,
+        g,
+        0,
+        &mut vec![false; g.n_vertices()],
+        &mut Vec::new(),
+        &mut out,
+    );
     out
 }
 

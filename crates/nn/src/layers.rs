@@ -107,7 +107,10 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1], rng))
@@ -161,7 +164,13 @@ pub fn dropout(tape: &mut Tape, x: Var, p: f32, training: bool, rng: &mut StdRng
     let (r, c) = tape.value(x).shape();
     let keep = 1.0 - p;
     let mask_data = (0..r * c)
-        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+        .map(|_| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        })
         .collect();
     tape.mul_const(x, Tensor::from_vec(r, c, mask_data))
 }
@@ -209,7 +218,13 @@ mod tests {
     fn mlp_requires_two_widths() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut store = ParamStore::new();
-        Mlp::new(&mut store, &[8], Activation::Relu, Activation::Identity, &mut rng);
+        Mlp::new(
+            &mut store,
+            &[8],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
     }
 
     #[test]
@@ -260,7 +275,9 @@ mod tests {
         let x = tape.constant(Tensor::ones(100, 10));
         let y = dropout(&mut tape, x, 0.4, true, &mut rng);
         let vals = tape.value(y).data();
-        assert!(vals.iter().all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-5));
+        assert!(vals
+            .iter()
+            .all(|&v| v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-5));
         let zeros = vals.iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f32 / vals.len() as f32;
         assert!((frac - 0.4).abs() < 0.1, "dropout rate off: {frac}");

@@ -55,6 +55,7 @@
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod parallel;
 pub mod serialize;
 pub mod tape;
 pub mod tensor;

@@ -1,0 +1,121 @@
+//! Process-wide kernel-parallelism settings and the row-blocked fan-out
+//! primitive the tensor kernels are built on.
+//!
+//! Parallel kernels must be **bit-deterministic**: a fixed seed has to
+//! produce identical estimates at any thread count. The primitive here
+//! guarantees that by construction — the output is split into contiguous
+//! row blocks, each row is computed by exactly one closure invocation with
+//! an unchanged sequential inner loop, and no reduction ever crosses rows.
+//! Changing the thread count only changes *which worker* computes a row,
+//! never the floating-point operation order within it.
+//!
+//! Settings are process-wide atomics rather than per-call parameters so the
+//! kernels stay drop-in (`Tensor::matmul` keeps its signature and every
+//! existing call site gains the parallel path). Configure them once at
+//! startup from `NeurScConfig::parallelism` / `--threads`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+static MIN_PARALLEL_ROWS: AtomicUsize = AtomicUsize::new(256);
+
+/// Sets the kernel thread count and the minimum number of output rows a
+/// kernel needs before it fans out (below the threshold, thread spawn
+/// overhead dwarfs the work). `threads` is clamped to at least 1.
+pub fn configure(threads: usize, min_parallel_rows: usize) {
+    THREADS.store(threads.max(1), Ordering::Relaxed);
+    MIN_PARALLEL_ROWS.store(min_parallel_rows.max(1), Ordering::Relaxed);
+}
+
+/// Current kernel thread count.
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Current row threshold below which kernels stay sequential.
+pub fn min_parallel_rows() -> usize {
+    MIN_PARALLEL_ROWS.load(Ordering::Relaxed)
+}
+
+/// Runs `f(row_index, row_slice)` for every `cols`-wide row of `out`,
+/// fanning out over contiguous row blocks when the configured thread count
+/// and the row count warrant it. Each row is written by exactly one call.
+pub(crate) fn for_each_row(
+    rows: usize,
+    cols: usize,
+    out: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * cols);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let t = threads().min(rows);
+    if t <= 1 || rows < min_parallel_rows() {
+        for (i, row) in out.chunks_exact_mut(cols).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let rows_per_block = rows.div_ceil(t);
+    crossbeam::thread::scope(|scope| {
+        for (b, block) in out.chunks_mut(rows_per_block * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, row) in block.chunks_exact_mut(cols).enumerate() {
+                    f(b * rows_per_block + j, row);
+                }
+            });
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(threads: usize, min_rows: usize, rows: usize, cols: usize) -> Vec<f32> {
+        let (old_t, old_m) = (super::threads(), super::min_parallel_rows());
+        configure(threads, min_rows);
+        let mut out = vec![0.0f32; rows * cols];
+        for_each_row(rows, cols, &mut out, |i, row| {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = (i * cols + c) as f32;
+            }
+        });
+        configure(old_t, old_m);
+        out
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = run_with(1, 1, 37, 5);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(run_with(t, 1, 37, 5), seq, "thread count {t} diverged");
+        }
+    }
+
+    #[test]
+    fn threshold_keeps_small_work_sequential() {
+        // Just exercises the sequential path; correctness is the same.
+        let out = run_with(4, 1000, 10, 3);
+        assert_eq!(out[29], 29.0);
+    }
+
+    #[test]
+    fn empty_shapes_are_noops() {
+        let mut out: Vec<f32> = Vec::new();
+        for_each_row(0, 4, &mut out, |_, _| unreachable!());
+        for_each_row(4, 0, &mut out, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn configure_clamps_to_one() {
+        let (old_t, old_m) = (threads(), min_parallel_rows());
+        configure(0, 0);
+        assert_eq!(threads(), 1);
+        assert_eq!(min_parallel_rows(), 1);
+        configure(old_t, old_m);
+    }
+}

@@ -22,7 +22,9 @@ pub struct Var(u32);
 
 #[derive(Debug, Clone)]
 enum Op {
-    Leaf { pid: Option<ParamId> },
+    Leaf {
+        pid: Option<ParamId>,
+    },
     MatMul(u32, u32),
     Add(u32, u32),
     Sub(u32, u32),
@@ -323,7 +325,11 @@ impl Tape {
     /// Multiplies by a fixed mask tensor that receives no gradient
     /// (dropout, attention masks).
     pub fn mul_const(&mut self, a: Var, mask: Tensor) -> Var {
-        assert_eq!(self.value(a).shape(), mask.shape(), "mul_const shape mismatch");
+        assert_eq!(
+            self.value(a).shape(),
+            mask.shape(),
+            "mul_const shape mismatch"
+        );
         let v = broadcast_zip(self.value(a), &mask, |x, y| x * y);
         self.push(v, Op::MulConst(a.0, Rc::new(mask)))
     }
@@ -418,8 +424,7 @@ impl Tape {
             }
             Op::Mul(a, b) => {
                 let ga = broadcast_zip(&gout, &self.nodes[b as usize].value, |g, y| g * y);
-                let gb_full =
-                    broadcast_zip(&gout, &self.nodes[a as usize].value, |g, x| g * x);
+                let gb_full = broadcast_zip(&gout, &self.nodes[a as usize].value, |g, x| g * x);
                 // NB: gout and a have the same (full) shape, so zip is exact.
                 let gb = reduce_to_shape(&gb_full, self.nodes[b as usize].value.shape());
                 self.add_grad(a, ga);
@@ -856,7 +861,11 @@ mod tests {
         let m = t.mean_rows(x);
         let loss = t.sum(m);
         t.backward(loss, &mut store);
-        assert!(store.grad(p).data().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+        assert!(store
+            .grad(p)
+            .data()
+            .iter()
+            .all(|&g| (g - 0.25).abs() < 1e-6));
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// A `[1, 1]` scalar tensor.
@@ -175,39 +179,50 @@ impl Tensor {
 
     /// Matrix product `self × other` — `[n,k] × [k,m] → [n,m]`, i-k-j loop
     /// order for cache-friendly row-major access.
+    ///
+    /// Rows that are entirely zero in `self` are skipped (common for padded
+    /// feature rows); nonzero rows run a branch-free dense inner loop — a
+    /// per-scalar `a == 0.0` test costs more in branch mispredictions on
+    /// dense inputs than it saves on our ~50%-sparse binary features (see
+    /// `benches/matmul.rs` in the bench crate). Output rows are computed
+    /// independently, so the kernel fans out over row blocks when
+    /// [`crate::parallel`] is configured — bit-identical at any thread
+    /// count because each row's operation order never changes.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul inner-dimension mismatch: {:?} × {:?}",
             self.shape(),
             other.shape()
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
+        crate::parallel::for_each_row(n, m, &mut out.data, |i, o_row| {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * m..(i + 1) * m];
+            if a_row.iter().all(|&a| a == 0.0) {
+                return; // whole-row skip: the output row stays zero
+            }
             for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[kk * m..(kk + 1) * m];
                 for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
-    /// Transpose (allocates).
+    /// Transpose (allocates). Row-blocked over the *output* rows, same
+    /// determinism argument as [`Tensor::matmul`].
     pub fn transpose(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Tensor::zeros(cols, rows);
+        crate::parallel::for_each_row(cols, rows, &mut out.data, |c, o_row| {
+            for (r, slot) in o_row.iter_mut().enumerate() {
+                *slot = self.data[r * cols + c];
             }
-        }
+        });
         out
     }
 
@@ -278,6 +293,44 @@ mod tests {
     #[should_panic(expected = "matmul inner-dimension mismatch")]
     fn matmul_shape_checked() {
         Tensor::zeros(2, 3).matmul(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_but_not_zero_scalars() {
+        // Row 0 all-zero (skipped), row 1 mixed (dense inner loop).
+        let a = Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 3.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&b).data(), &[0.0, 0.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_and_transpose_bit_identical_across_thread_counts() {
+        // Pseudo-random but deterministic input, sized above any threshold
+        // we force. Parallel settings are process-global; other tests may
+        // observe them mid-flight, which is safe precisely because of the
+        // bit-determinism this test asserts.
+        let mut v = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            (v % 1000) as f32 / 500.0 - 1.0
+        };
+        let a = Tensor::from_vec(40, 17, (0..40 * 17).map(|_| next()).collect());
+        let b = Tensor::from_vec(17, 23, (0..17 * 23).map(|_| next()).collect());
+        let (old_t, old_m) = (
+            crate::parallel::threads(),
+            crate::parallel::min_parallel_rows(),
+        );
+        crate::parallel::configure(1, 1);
+        let seq_mm = a.matmul(&b);
+        let seq_tr = a.transpose();
+        for t in [2, 4, 7] {
+            crate::parallel::configure(t, 1);
+            assert_eq!(a.matmul(&b), seq_mm, "matmul diverged at {t} threads");
+            assert_eq!(a.transpose(), seq_tr, "transpose diverged at {t} threads");
+        }
+        crate::parallel::configure(old_t, old_m);
     }
 
     #[test]

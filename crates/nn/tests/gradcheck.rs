@@ -14,10 +14,7 @@ const H: f32 = 1e-3;
 const TOL: f32 = 2e-2; // f32 finite differences are noisy; relative check below
 
 /// Builds a loss from a parameter tensor via `f`, returns (loss, grads).
-fn loss_and_grad(
-    init: &Tensor,
-    f: impl Fn(&mut Tape, Var) -> Var,
-) -> (f32, Tensor) {
+fn loss_and_grad(init: &Tensor, f: impl Fn(&mut Tape, Var) -> Var) -> (f32, Tensor) {
     let mut store = ParamStore::new();
     let p = store.alloc(init.clone());
     let mut tape = Tape::new();
@@ -59,145 +56,296 @@ fn check(init: &Tensor, f: impl Fn(&mut Tape, Var) -> Var + Copy, what: &str) {
 
 fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows * cols).map(|_| rng.gen_range(-1.5..1.5f32)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.5..1.5f32))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 
 /// Shifts values away from non-differentiable kinks (|x| > margin).
 fn away_from_zero(t: &Tensor, margin: f32) -> Tensor {
-    t.map(|x| if x.abs() < margin { x.signum().max(0.5) * margin * 2.0 } else { x })
+    t.map(|x| {
+        if x.abs() < margin {
+            x.signum().max(0.5) * margin * 2.0
+        } else {
+            x
+        }
+    })
 }
 
 #[test]
 fn gradcheck_matmul() {
     let x = random_tensor(3, 4, 1);
-    check(&x, |t, p| {
-        let w = t.constant(random_tensor(4, 2, 2));
-        let y = t.matmul(p, w);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "matmul-left");
+    check(
+        &x,
+        |t, p| {
+            let w = t.constant(random_tensor(4, 2, 2));
+            let y = t.matmul(p, w);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "matmul-left",
+    );
     let w = random_tensor(4, 2, 3);
-    check(&w, |t, p| {
-        let x = t.constant(random_tensor(3, 4, 4));
-        let y = t.matmul(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "matmul-right");
+    check(
+        &w,
+        |t, p| {
+            let x = t.constant(random_tensor(3, 4, 4));
+            let y = t.matmul(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "matmul-right",
+    );
 }
 
 #[test]
 fn gradcheck_add_sub_broadcast() {
     let b = random_tensor(1, 3, 5);
-    check(&b, |t, p| {
-        let x = t.constant(random_tensor(4, 3, 6));
-        let y = t.add(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "add-row-broadcast");
-    check(&b, |t, p| {
-        let x = t.constant(random_tensor(4, 3, 7));
-        let y = t.sub(x, p);
-        let cube = t.mul(y, y);
-        t.sum(cube)
-    }, "sub-row-broadcast");
+    check(
+        &b,
+        |t, p| {
+            let x = t.constant(random_tensor(4, 3, 6));
+            let y = t.add(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "add-row-broadcast",
+    );
+    check(
+        &b,
+        |t, p| {
+            let x = t.constant(random_tensor(4, 3, 7));
+            let y = t.sub(x, p);
+            let cube = t.mul(y, y);
+            t.sum(cube)
+        },
+        "sub-row-broadcast",
+    );
     let s = Tensor::scalar(0.7);
-    check(&s, |t, p| {
-        let x = t.constant(random_tensor(2, 3, 8));
-        let y = t.add(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "add-scalar-broadcast");
+    check(
+        &s,
+        |t, p| {
+            let x = t.constant(random_tensor(2, 3, 8));
+            let y = t.add(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "add-scalar-broadcast",
+    );
 }
 
 #[test]
 fn gradcheck_mul_div() {
     let a = random_tensor(3, 3, 9);
-    check(&a, |t, p| {
-        let x = t.constant(random_tensor(3, 3, 10));
-        let y = t.mul(p, x);
-        t.sum(y)
-    }, "mul-elementwise");
+    check(
+        &a,
+        |t, p| {
+            let x = t.constant(random_tensor(3, 3, 10));
+            let y = t.mul(p, x);
+            t.sum(y)
+        },
+        "mul-elementwise",
+    );
     // Divisor bounded away from zero.
     let b = away_from_zero(&random_tensor(3, 3, 11), 0.3);
-    check(&b, |t, p| {
-        let x = t.constant(random_tensor(3, 3, 12));
-        let y = t.div(x, p);
-        t.sum(y)
-    }, "div-denominator");
+    check(
+        &b,
+        |t, p| {
+            let x = t.constant(random_tensor(3, 3, 12));
+            let y = t.div(x, p);
+            t.sum(y)
+        },
+        "div-denominator",
+    );
     let scalar_div = Tensor::scalar(1.3);
-    check(&scalar_div, |t, p| {
-        let x = t.constant(random_tensor(2, 2, 13));
-        let y = t.div(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "div-scalar-broadcast");
+    check(
+        &scalar_div,
+        |t, p| {
+            let x = t.constant(random_tensor(2, 2, 13));
+            let y = t.div(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "div-scalar-broadcast",
+    );
 }
 
 #[test]
 fn gradcheck_activations() {
     // ReLU / LeakyReLU / Abs away from the kink at 0.
     let x = away_from_zero(&random_tensor(3, 4, 14), 0.2);
-    check(&x, |t, p| { let y = t.relu(p); let sq = t.mul(y, y); t.sum(sq) }, "relu");
-    check(&x, |t, p| { let y = t.leaky_relu(p, 0.2); let sq = t.mul(y, y); t.sum(sq) }, "leaky_relu");
-    check(&x, |t, p| { let y = t.abs(p); let sq = t.mul(y, y); t.sum(sq) }, "abs");
+    check(
+        &x,
+        |t, p| {
+            let y = t.relu(p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "relu",
+    );
+    check(
+        &x,
+        |t, p| {
+            let y = t.leaky_relu(p, 0.2);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "leaky_relu",
+    );
+    check(
+        &x,
+        |t, p| {
+            let y = t.abs(p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "abs",
+    );
     let s = random_tensor(3, 4, 15);
-    check(&s, |t, p| { let y = t.sigmoid(p); t.sum(y) }, "sigmoid");
-    check(&s, |t, p| { let y = t.tanh(p); t.sum(y) }, "tanh");
-    check(&s, |t, p| { let y = t.softplus(p); t.sum(y) }, "softplus");
-    check(&s, |t, p| { let y = t.exp(p); t.sum(y) }, "exp");
+    check(
+        &s,
+        |t, p| {
+            let y = t.sigmoid(p);
+            t.sum(y)
+        },
+        "sigmoid",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.tanh(p);
+            t.sum(y)
+        },
+        "tanh",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.softplus(p);
+            t.sum(y)
+        },
+        "softplus",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.exp(p);
+            t.sum(y)
+        },
+        "exp",
+    );
     let pos = s.map(|v| v.abs() + 0.5);
-    check(&pos, |t, p| { let y = t.ln(p, 1e-6); t.sum(y) }, "ln");
-    check(&s, |t, p| { let y = t.neg(p); let sq = t.mul(y, y); t.sum(sq) }, "neg");
-    check(&s, |t, p| { let y = t.scale(p, -2.5); let sq = t.mul(y, y); t.sum(sq) }, "scale");
-    check(&s, |t, p| { let y = t.add_scalar(p, 1.5); let sq = t.mul(y, y); t.sum(sq) }, "add_scalar");
+    check(
+        &pos,
+        |t, p| {
+            let y = t.ln(p, 1e-6);
+            t.sum(y)
+        },
+        "ln",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.neg(p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "neg",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.scale(p, -2.5);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "scale",
+    );
+    check(
+        &s,
+        |t, p| {
+            let y = t.add_scalar(p, 1.5);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "add_scalar",
+    );
 }
 
 #[test]
 fn gradcheck_reductions_and_shapes() {
     let x = random_tensor(4, 3, 16);
-    check(&x, |t, p| {
-        let y = t.sum_rows(p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "sum_rows");
-    check(&x, |t, p| {
-        let y = t.mean_rows(p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "mean_rows");
-    check(&x, |t, p| {
-        let other = t.constant(random_tensor(4, 2, 17));
-        let y = t.concat_cols(p, other);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "concat_cols");
-    check(&x, |t, p| {
-        let other = t.constant(random_tensor(2, 3, 18));
-        let y = t.concat_rows(p, other);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "concat_rows");
-    check(&x, |t, p| {
-        let y = t.slice_rows(p, 1, 3);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "slice_rows");
+    check(
+        &x,
+        |t, p| {
+            let y = t.sum_rows(p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "sum_rows",
+    );
+    check(
+        &x,
+        |t, p| {
+            let y = t.mean_rows(p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "mean_rows",
+    );
+    check(
+        &x,
+        |t, p| {
+            let other = t.constant(random_tensor(4, 2, 17));
+            let y = t.concat_cols(p, other);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "concat_cols",
+    );
+    check(
+        &x,
+        |t, p| {
+            let other = t.constant(random_tensor(2, 3, 18));
+            let y = t.concat_rows(p, other);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "concat_rows",
+    );
+    check(
+        &x,
+        |t, p| {
+            let y = t.slice_rows(p, 1, 3);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "slice_rows",
+    );
 }
 
 #[test]
 fn gradcheck_segment_ops() {
     let x = random_tensor(5, 2, 19);
-    check(&x, |t, p| {
-        let y = t.index_select(p, &[4, 0, 0, 2]);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "index_select");
-    check(&x, |t, p| {
-        let y = t.segment_sum(p, &[1, 0, 1, 2, 1], 3);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "segment_sum");
+    check(
+        &x,
+        |t, p| {
+            let y = t.index_select(p, &[4, 0, 0, 2]);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "index_select",
+    );
+    check(
+        &x,
+        |t, p| {
+            let y = t.segment_sum(p, &[1, 0, 1, 2, 1], 3);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "segment_sum",
+    );
 }
 
 #[test]
@@ -207,17 +355,21 @@ fn gradcheck_composite_gnn_like_expression() {
     let x = random_tensor(4, 3, 20);
     let src = [0u32, 1, 2, 3, 0, 2];
     let dst = [1u32, 0, 3, 2, 2, 0];
-    check(&x, move |t, p| {
-        let msgs = t.index_select(p, &src);
-        let w = t.constant(random_tensor(3, 3, 21));
-        let transformed = t.matmul(msgs, w);
-        let agg = t.segment_sum(transformed, &dst, 4);
-        let combined = t.add(agg, p);
-        let act = t.tanh(combined);
-        let pooled = t.sum_rows(act);
-        let sq = t.mul(pooled, pooled);
-        t.sum(sq)
-    }, "gnn-composite");
+    check(
+        &x,
+        move |t, p| {
+            let msgs = t.index_select(p, &src);
+            let w = t.constant(random_tensor(3, 3, 21));
+            let transformed = t.matmul(msgs, w);
+            let agg = t.segment_sum(transformed, &dst, 4);
+            let combined = t.add(agg, p);
+            let act = t.tanh(combined);
+            let pooled = t.sum_rows(act);
+            let sq = t.mul(pooled, pooled);
+            t.sum(sq)
+        },
+        "gnn-composite",
+    );
 }
 
 proptest! {
@@ -253,33 +405,49 @@ proptest! {
 fn gradcheck_column_broadcast() {
     // Column broadcast [r,1] in mul/div/add — the attention-weight path.
     let col = random_tensor(4, 1, 30);
-    check(&col, |t, p| {
-        let x = t.constant(random_tensor(4, 3, 31));
-        let y = t.mul(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "mul-column-broadcast");
-    check(&col, |t, p| {
-        let x = t.constant(random_tensor(4, 3, 32));
-        let y = t.add(x, p);
-        let sq = t.mul(y, y);
-        t.sum(sq)
-    }, "add-column-broadcast");
+    check(
+        &col,
+        |t, p| {
+            let x = t.constant(random_tensor(4, 3, 31));
+            let y = t.mul(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "mul-column-broadcast",
+    );
+    check(
+        &col,
+        |t, p| {
+            let x = t.constant(random_tensor(4, 3, 32));
+            let y = t.add(x, p);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        "add-column-broadcast",
+    );
     let col_pos = away_from_zero(&random_tensor(4, 1, 33), 0.4);
-    check(&col_pos, |t, p| {
-        let x = t.constant(random_tensor(4, 3, 34));
-        let y = t.div(x, p);
-        t.sum(y)
-    }, "div-column-broadcast");
+    check(
+        &col_pos,
+        |t, p| {
+            let x = t.constant(random_tensor(4, 3, 34));
+            let y = t.div(x, p);
+            t.sum(y)
+        },
+        "div-column-broadcast",
+    );
 }
 
 #[test]
 fn gradcheck_transpose_and_attention_shape() {
     let x = random_tensor(3, 4, 40);
-    check(&x, |t, p| {
-        let tr = t.transpose(p);
-        let prod = t.matmul(p, tr); // [3,3] gram matrix
-        let sq = t.mul(prod, prod);
-        t.sum(sq)
-    }, "transpose-gram");
+    check(
+        &x,
+        |t, p| {
+            let tr = t.transpose(p);
+            let prod = t.matmul(p, tr); // [3,3] gram matrix
+            let sq = t.mul(prod, prod);
+            t.sum(sq)
+        },
+        "transpose-gram",
+    );
 }

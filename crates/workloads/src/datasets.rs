@@ -256,8 +256,16 @@ mod tests {
     fn yeast_shape_matches_table2() {
         let g = dataset(DatasetId::Yeast);
         let s = properties::stats(&g);
-        assert!((s.avg_degree - 8.0).abs() < 0.6, "avg degree {}", s.avg_degree);
-        assert!(s.n_labels >= 60 && s.n_labels <= 71, "labels {}", s.n_labels);
+        assert!(
+            (s.avg_degree - 8.0).abs() < 0.6,
+            "avg degree {}",
+            s.avg_degree
+        );
+        assert!(
+            s.n_labels >= 60 && s.n_labels <= 71,
+            "labels {}",
+            s.n_labels
+        );
     }
 
     #[test]

@@ -47,11 +47,7 @@ pub fn default_cache_dir() -> PathBuf {
 
 /// Labels `queries` with exact counts; over-budget queries are dropped.
 /// Returns `(query, count)` pairs in the original order.
-pub fn label_queries(
-    g: &Graph,
-    queries: &[Graph],
-    cfg: &GroundTruthConfig,
-) -> Vec<(Graph, u64)> {
+pub fn label_queries(g: &Graph, queries: &[Graph], cfg: &GroundTruthConfig) -> Vec<(Graph, u64)> {
     let counts = count_all(g, queries, cfg);
     queries
         .iter()
@@ -167,7 +163,12 @@ mod tests {
         // Budget 0: the very first candidate expansion exceeds it, so every
         // non-trivial query must be dropped.
         let labeled = label_queries(&g, &queries, &no_cache(0));
-        assert!(labeled.is_empty(), "kept {} of {}", labeled.len(), queries.len());
+        assert!(
+            labeled.is_empty(),
+            "kept {} of {}",
+            labeled.len(),
+            queries.len()
+        );
     }
 
     #[test]
@@ -256,8 +257,7 @@ mod semantics_tests {
         let g = neursc_graph::generate::erdos_renyi(40, 120, 3, 12);
         let queries = build_query_set(&g, &QuerySetConfig::new(4, 5, 13));
         let iso = label_queries_with_semantics(&g, &queries, 100_000_000, Semantics::Isomorphism);
-        let hom =
-            label_queries_with_semantics(&g, &queries, 100_000_000, Semantics::Homomorphism);
+        let hom = label_queries_with_semantics(&g, &queries, 100_000_000, Semantics::Homomorphism);
         assert_eq!(iso.len(), hom.len());
         for ((_, ci), (_, ch)) in iso.iter().zip(&hom) {
             assert!(ch >= ci, "hom {ch} < iso {ci}");

@@ -24,7 +24,10 @@ fn motifs(l: &[u32; 4]) -> Vec<(&'static str, Graph)> {
         ("cycle C4", mk(&[(0, 1), (1, 2), (2, 3), (3, 0)])),
         ("tailed triangle", mk(&[(0, 1), (1, 2), (0, 2), (2, 3)])),
         ("diamond", mk(&[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)])),
-        ("clique K4", mk(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])),
+        (
+            "clique K4",
+            mk(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+        ),
     ]
 }
 
@@ -62,7 +65,10 @@ fn main() {
     let top_label = (0..freqs.len()).max_by_key(|&l| freqs[l]).unwrap() as u32;
     let labels = [top_label; 4];
     println!("motif labels: all = {top_label} (most frequent label)\n");
-    println!("{:<18} {:>14} {:>14} {:>8}", "motif", "estimate", "exact", "q-err");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "motif", "estimate", "exact", "q-err"
+    );
     let mut ranked: Vec<(String, f64, Option<u64>)> = Vec::new();
     for (name, motif) in motifs(&labels) {
         let est = model.estimate(&motif, &g);

@@ -35,7 +35,11 @@ fn plan_cost(model: &NeurSc, g: &Graph, prefixes: &[Graph]) -> f64 {
 
 fn main() {
     let g = neursc::workloads::datasets::dataset(DatasetId::Yeast);
-    println!("data graph Yeast: |V|={} |E|={}", g.n_vertices(), g.n_edges());
+    println!(
+        "data graph Yeast: |V|={} |E|={}",
+        g.n_vertices(),
+        g.n_edges()
+    );
 
     // Train the estimator on 5-vertex patterns.
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);

@@ -40,7 +40,12 @@ fn main() {
         }
     }
     let (train, test) = labeled.split_at(48);
-    println!("labeled {} queries ({} train / {} test)", labeled.len(), train.len(), test.len());
+    println!(
+        "labeled {} queries ({} train / {} test)",
+        labeled.len(),
+        train.len(),
+        test.len()
+    );
 
     // 3. Train NeurSC (extraction + WEst + Wasserstein discriminator).
     let mut model = NeurSc::new(NeurScConfig::small(), 7);
@@ -51,7 +56,10 @@ fn main() {
     );
 
     // 4. Estimate on held-out queries.
-    println!("\n{:<8} {:>12} {:>12} {:>8}", "query", "estimate", "truth", "q-error");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>8}",
+        "query", "estimate", "truth", "q-error"
+    );
     let mut total_q = 0.0;
     for (i, (q, c)) in test.iter().enumerate() {
         let e = model.estimate(q, &g);

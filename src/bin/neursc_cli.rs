@@ -69,11 +69,14 @@ USAGE:
   neursc-cli generate --dataset <name>|--vertices N --degree D --labels L [--seed S] --out FILE
   neursc-cli queries  --data FILE --size N --count K [--seed S] [--budget B] --out-dir DIR
   neursc-cli count    --data FILE --query FILE [--budget B]
-  neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] --out FILE
-  neursc-cli estimate --model FILE --data FILE --query FILE
-  neursc-cli evaluate --model FILE --data FILE --queries DIR
+  neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] [--threads T] --out FILE
+  neursc-cli estimate --model FILE --data FILE --query FILE [--threads T]
+  neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T]
 
-Datasets: Yeast, Human, HPRD, Wordnet, DBLP, EU2005, Youtube (Table 2 presets).";
+Datasets: Yeast, Human, HPRD, Wordnet, DBLP, EU2005, Youtube (Table 2 presets).
+
+--threads T fans query preparation and per-substructure forwards out over T
+worker threads; results are bit-identical to --threads 1.";
 
 type Opts = HashMap<String, String>;
 
@@ -104,6 +107,18 @@ fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, St
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
     }
+}
+
+/// Applies `--threads` to a model's parallelism config and pushes the
+/// setting down into the nn kernels. Defaults to sequential execution.
+fn apply_threads(model: &mut NeurSc, opts: &Opts) -> Result<(), String> {
+    let threads: usize = num(opts, "threads", model.config.parallelism.threads)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    model.config.parallelism.threads = threads;
+    model.config.parallelism.apply_to_kernels();
+    Ok(())
 }
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
@@ -177,7 +192,10 @@ fn cmd_count(opts: &Opts) -> Result<(), String> {
     match r.exact() {
         Some(c) => println!("{c}"),
         None => {
-            println!("budget exhausted after {} expansions (≥ {})", r.expansions, r.count);
+            println!(
+                "budget exhausted after {} expansions (≥ {})",
+                r.expansions, r.count
+            );
             return Err("count exceeds budget".into());
         }
     }
@@ -213,6 +231,7 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     cfg.pretrain_epochs = epochs;
     cfg.adversarial_epochs = (epochs / 3).max(2);
     let mut model = NeurSc::new(cfg, seed);
+    apply_threads(&mut model, opts)?;
     let report = model.fit(&g, &labeled).map_err(|e| e.to_string())?;
     save_model(&model, &out).map_err(|e| e.to_string())?;
     println!(
@@ -226,7 +245,8 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_estimate(opts: &Opts) -> Result<(), String> {
-    let model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    let mut model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    apply_threads(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
     let q = load_graph(Path::new(req(opts, "query")?)).map_err(|e| e.to_string())?;
     let d = model.estimate_detailed(&q, &g);
@@ -234,22 +254,31 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
     eprintln!(
         "({} substructures{})",
         d.n_substructures,
-        if d.trivially_zero { ", trivially zero" } else { "" }
+        if d.trivially_zero {
+            ", trivially zero"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
 
 fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
-    let model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    let mut model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+    apply_threads(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
     let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
     if labeled.is_empty() {
         return Err("no labeled queries found".into());
     }
+    // Batched path: one shared context caches the data-graph profiles and
+    // fans the whole query set out over the configured workers.
+    let queries: Vec<Graph> = labeled.iter().map(|(q, _)| q.clone()).collect();
+    let ctx = neursc::core::GraphContext::new();
+    let details = model.estimate_batch(&queries, &g, &ctx);
     let mut errs: Vec<f64> = Vec::new();
-    for (q, c) in &labeled {
-        let e = model.estimate(q, &g);
-        errs.push(neursc::core::q_error(e, *c as f64));
+    for ((_, c), d) in labeled.iter().zip(&details) {
+        errs.push(neursc::core::q_error(d.count, *c as f64));
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
     let gmean = (errs.iter().map(|e| e.ln()).sum::<f64>() / errs.len() as f64).exp();

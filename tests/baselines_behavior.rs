@@ -107,7 +107,10 @@ fn trained_neursc_beats_every_untrained_baseline() {
         b.fit(&g, &[]);
         let errs: Vec<f64> = test
             .iter()
-            .filter_map(|(q, c)| b.estimate(q, &g).map(|e| neursc::core::q_error(e, *c as f64)))
+            .filter_map(|(q, c)| {
+                b.estimate(q, &g)
+                    .map(|e| neursc::core::q_error(e, *c as f64))
+            })
             .collect();
         if errs.is_empty() {
             continue;
@@ -138,7 +141,10 @@ fn correlated_sampling_underestimates_rare_patterns() {
     assert!(truth >= 1);
     let mut cs = CorrelatedSampling::new(0.1);
     let e = cs.estimate(&tri, &g).unwrap();
-    assert!(e < truth as f64, "sampling failure should underestimate: {e}");
+    assert!(
+        e < truth as f64,
+        "sampling failure should underestimate: {e}"
+    );
 }
 
 #[test]

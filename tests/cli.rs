@@ -31,7 +31,15 @@ fn cli_full_workflow() {
     let out = run_ok({
         let mut c = cli();
         c.args([
-            "generate", "--vertices", "300", "--degree", "8", "--labels", "5", "--seed", "3",
+            "generate",
+            "--vertices",
+            "300",
+            "--degree",
+            "8",
+            "--labels",
+            "5",
+            "--seed",
+            "3",
             "--out",
         ])
         .arg(p("data.graph"));
@@ -129,7 +137,8 @@ fn cli_generate_dataset_preset() {
     let path = dir.join("yeast.graph");
     run_ok({
         let mut c = cli();
-        c.args(["generate", "--dataset", "yeast", "--out"]).arg(&path);
+        c.args(["generate", "--dataset", "yeast", "--out"])
+            .arg(&path);
         c
     });
     let g = neursc::graph::io::load_graph(&path).unwrap();

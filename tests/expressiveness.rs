@@ -61,18 +61,29 @@ fn wl_equivalent_graphs_get_equal_west_outputs() {
     let s1 = west_signature(&m, &c6);
     let s2 = west_signature(&m, &tt);
     let rel = (s1 - s2).abs() / s1.abs().max(1e-12);
-    assert!(rel < 1e-4, "WEst separated 1-WL-equivalent graphs: {s1} vs {s2}");
+    assert!(
+        rel < 1e-4,
+        "WEst separated 1-WL-equivalent graphs: {s1} vs {s2}"
+    );
 }
 
 #[test]
 fn isomorphic_graphs_always_get_equal_outputs() {
     let m = model();
-    let a = Graph::from_edges(5, &[0, 1, 2, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
-        .unwrap();
+    let a = Graph::from_edges(
+        5,
+        &[0, 1, 2, 1, 0],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+    )
+    .unwrap();
     // Relabeled copy: vertex i of `a` maps to (i+2) mod 5, labels follow
     // (b[(i+2)%5] = a[i] → b = [1, 0, 0, 1, 2]); the 5-cycle maps to itself.
-    let b = Graph::from_edges(5, &[1, 0, 0, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
-        .unwrap();
+    let b = Graph::from_edges(
+        5,
+        &[1, 0, 0, 1, 2],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+    )
+    .unwrap();
     let sa = west_signature(&m, &a);
     let sb = west_signature(&m, &b);
     let rel = (sa - sb).abs() / sa.abs().max(1e-12);

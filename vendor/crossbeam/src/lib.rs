@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam` (API subset).
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the
+//! upstream shape — spawn closures receive a `&Scope` argument so threads
+//! can spawn siblings — implemented on top of `std::thread::scope`
+//! (stabilized in Rust 1.63, after crossbeam's scoped threads were
+//! designed). One behavioral difference: a panicking child propagates when
+//! the scope joins it rather than being collected into the returned
+//! `Result`, so `scope` only returns `Err` if the *main* closure panics —
+//! which it cannot, as panics unwind — i.e. the result is always `Ok`.
+
+pub mod thread {
+    //! Scoped threads: spawned threads may borrow from the enclosing stack
+    //! frame and are all joined before `scope` returns.
+
+    /// Handle to a spawned scoped thread (std's type).
+    pub use std::thread::ScopedJoinHandle;
+
+    /// Result alias matching crossbeam's `thread::scope` return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Spawn handle passed to the `scope` closure and to every spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a fresh `&Scope`
+        /// so it can spawn further threads, crossbeam-style.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            17
+        })
+        .unwrap();
+        assert_eq!(out, 17);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn spawned_threads_can_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<u64> = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use: range/tuple/`collection::vec` strategies, `prop_map`,
+//! `prop_flat_map`, `any::<T>()`, the `proptest!` macro with
+//! `#![proptest_config(...)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking**: a failing case reports its iteration index, not a
+//!   minimized input. Seeds are deterministic per test, so failures
+//!   reproduce exactly.
+//! - `.proptest-regressions` files are ignored.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i64..=2, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1usize..=5).prop_flat_map(|n| crate::collection::vec(0u32..100, n))) {
+            prop_assert!(!v.is_empty() && v.len() <= 5);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0u32..4, 0u32..6).prop_map(|(x, y)| (x * 2, y))) {
+            prop_assert!(a % 2 == 0 && a < 8);
+            prop_assert!(b < 6);
+        }
+
+        #[test]
+        fn early_ok_return_works(n in 0usize..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(n.min(9), n);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_ranges() {
+        let mut rng = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u8..5, 2..4), &mut rng);
+            assert!(v.len() == 2 || v.len() == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        // No #[test] attribute on the inner fn: it is invoked manually so
+        // the panic is observed by this enclosing test.
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,71 @@
+//! Concrete generators. [`StdRng`] is xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 as its authors recommend.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+///
+/// Not the upstream ChaCha12 `StdRng` — streams differ from real `rand`,
+/// but all workspace code relies only on seed-determinism, never on
+/// specific stream values.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for state seeded from SplitMix64(0) must be stable
+        // across builds (they gate every seeded test in the workspace).
+        let mut a = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::seed_from_u64(0);
+        let again: Vec<u64> = (0..3).map(|_| b.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Slice helpers mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// In-place shuffling and random element choice for slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly random element (`None` on an empty slice).
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left input ordered");
+    }
+
+    #[test]
+    fn shuffle_deterministic_under_seed() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(5));
+        b.shuffle(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut StdRng::seed_from_u64(1)).is_none());
+        assert!([7].choose(&mut StdRng::seed_from_u64(1)).is_some());
+    }
+}
