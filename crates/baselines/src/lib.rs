@@ -72,7 +72,9 @@ impl CountEstimator for NeurScEstimator {
     }
 
     fn estimate(&mut self, q: &Graph, g: &Graph) -> Option<f64> {
-        Some(self.model.estimate(q, g))
+        // A typed failure (budget, invalid query) maps onto the harness's
+        // timeout/give-up slot, like the G-CARE baselines.
+        self.model.estimate(q, g).ok()
     }
 }
 

@@ -101,7 +101,7 @@ fn bench_west_estimate(c: &mut Criterion) {
     let model = NeurSc::new(NeurScConfig::small(), 1);
     let prepared: Vec<_> = queries
         .iter()
-        .map(|q| prepare_query(q, &g, &model.config, 0))
+        .map(|q| prepare_query(q, &g, &model.config, 0).unwrap())
         .collect();
     c.bench_function("west_estimate/yeast_q8", |b| {
         let mut i = 0;

@@ -77,10 +77,10 @@ fn main() {
     seq.config.parallelism.apply_to_kernels();
     let ctx = GraphContext::new();
     let t0 = Instant::now();
-    let first = seq.estimate_with(&queries[0], &g, &ctx);
+    let first = seq.estimate_with(&queries[0], &g, &ctx).unwrap();
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let second = seq.estimate_with(&queries[1], &g, &ctx);
+    let second = seq.estimate_with(&queries[1], &g, &ctx).unwrap();
     let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
     println!(
         "cache: first query {cold_ms:.2} ms (computes profiles), second {warm_ms:.2} ms \
@@ -101,9 +101,9 @@ fn main() {
         let t0 = Instant::now();
         let details = m.estimate_batch(&queries, &g, &ctx);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let checksum = details
-            .iter()
-            .fold(0u64, |acc, d| acc ^ d.count.to_bits().rotate_left(17));
+        let checksum = details.iter().fold(0u64, |acc, d| {
+            acc ^ d.as_ref().unwrap().count.to_bits().rotate_left(17)
+        });
         println!(
             "threads={t}: batch of {} in {ms:.1} ms (checksum {checksum:016x})",
             queries.len()

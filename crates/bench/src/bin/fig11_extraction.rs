@@ -49,6 +49,7 @@ fn main() {
                         *c,
                         oracle_budget,
                     )
+                    .unwrap()
                 })
                 .collect()
         };

@@ -49,7 +49,7 @@ fn main() {
         // Pre-extract test queries once; sampling varies per rate.
         let prepared: Vec<_> = test
             .iter()
-            .map(|(q, c)| (prepare_query(q, &w.graph, &model.config, *c), *c))
+            .map(|(q, c)| (prepare_query(q, &w.graph, &model.config, *c).unwrap(), *c))
             .collect();
         for rate in [0.1, 0.2, 0.3, 0.4, 0.5, 1.0] {
             let mut rng = rand::rngs::StdRng::seed_from_u64(42);

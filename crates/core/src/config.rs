@@ -76,6 +76,65 @@ impl Parallelism {
     }
 }
 
+/// Resource budgets for the estimation pipeline (DESIGN.md, "Failure
+/// semantics"). These are *runtime* knobs of the serving process, not part
+/// of the learned model, so they are deliberately **not** persisted in
+/// model files — a loaded model gets the defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Reject queries with more vertices than this before any work is done
+    /// (`None` = unlimited). Real workloads use ≤ 32-vertex queries
+    /// (Table 3); the default cap of 512 stops adversarial inputs from
+    /// monopolizing a worker.
+    pub max_query_vertices: Option<usize>,
+    /// Deterministic cap on candidate-pair tests during filtering
+    /// (`None` = unlimited). See [`neursc_match::FilterBudget`] for the
+    /// degradation ladder.
+    pub max_filter_steps: Option<u64>,
+    /// Wall-clock cutoff for filtering, per query (`None` = disabled).
+    /// Unlike step budgets this is nondeterministic — off by default.
+    pub wall_clock_ms: Option<u64>,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            max_query_vertices: Some(512),
+            max_filter_steps: None,
+            wall_clock_ms: None,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// No limits at all.
+    pub const UNLIMITED: ResourceBudget = ResourceBudget {
+        max_query_vertices: None,
+        max_filter_steps: None,
+        wall_clock_ms: None,
+    };
+
+    /// Materializes the filtering budget, anchoring the wall-clock deadline
+    /// (if any) at the moment of the call.
+    pub fn filter_budget(&self) -> neursc_match::FilterBudget {
+        let mut b = match self.max_filter_steps {
+            Some(s) => neursc_match::FilterBudget::steps(s),
+            None => neursc_match::FilterBudget::UNBOUNDED,
+        };
+        if let Some(ms) = self.wall_clock_ms {
+            b = b.with_deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        }
+        b
+    }
+
+    /// Whether any limit is active (fast path check).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_query_vertices.is_none()
+            && self.max_filter_steps.is_none()
+            && self.wall_clock_ms.is_none()
+    }
+}
+
 /// Full configuration of a [`crate::NeurSc`] model.
 #[derive(Debug, Clone)]
 pub struct NeurScConfig {
@@ -132,6 +191,16 @@ pub struct NeurScConfig {
     pub seed: u64,
     /// Estimation-pipeline parallelism (bit-deterministic at any setting).
     pub parallelism: Parallelism,
+    /// Per-query resource budgets (runtime knob, not persisted).
+    pub budget: ResourceBudget,
+    /// Global-norm gradient clip for the estimation network (`None` =
+    /// unclipped). A divergence guard, not a tuning knob: ordinary training
+    /// gradients sit far below the default cap.
+    pub grad_clip: Option<f32>,
+    /// Whether [`crate::NeurSc::fit`] returns a `Divergence` error when a
+    /// non-finite epoch loss forces a rollback, instead of reporting the
+    /// rollback in the [`crate::train::TrainReport`] (the default).
+    pub fail_on_divergence: bool,
 }
 
 impl Default for NeurScConfig {
@@ -170,6 +239,9 @@ impl Default for NeurScConfig {
             max_substructure_vertices: Some(4096),
             seed: 0,
             parallelism: Parallelism::default(),
+            budget: ResourceBudget::default(),
+            grad_clip: Some(100.0),
+            fail_on_divergence: false,
         }
     }
 }
@@ -290,6 +362,30 @@ mod tests {
     fn rep_dim_concatenates_for_dual() {
         let c = NeurScConfig::default();
         assert_eq!(c.rep_dim(), 256);
+    }
+
+    #[test]
+    fn default_budget_caps_query_size_only() {
+        let b = ResourceBudget::default();
+        assert_eq!(b.max_query_vertices, Some(512));
+        assert_eq!(b.max_filter_steps, None);
+        assert_eq!(b.wall_clock_ms, None);
+        assert!(!b.is_unlimited());
+        assert!(ResourceBudget::UNLIMITED.is_unlimited());
+        assert_eq!(
+            b.filter_budget(),
+            neursc_match::FilterBudget::UNBOUNDED,
+            "no step/clock limit set"
+        );
+    }
+
+    #[test]
+    fn filter_budget_materializes_step_cap() {
+        let b = ResourceBudget {
+            max_filter_steps: Some(7),
+            ..ResourceBudget::UNLIMITED
+        };
+        assert_eq!(b.filter_budget(), neursc_match::FilterBudget::steps(7));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! ([`crate::NeurSc::estimate_batch`], [`crate::NeurSc::fit`]) share one
 //! across their worker threads.
 
+use crate::faults::FaultPlan;
 use neursc_gnn::FeatureCache;
 use neursc_match::ProfileCache;
 
@@ -24,12 +25,23 @@ pub struct GraphContext {
     pub profiles: ProfileCache,
     /// Data-graph feature-matrix cache (whole-graph featurization).
     pub features: FeatureCache,
+    /// Fault-injection plan consulted by the batched entry points (empty by
+    /// default — see [`crate::faults`]).
+    pub faults: FaultPlan,
 }
 
 impl GraphContext {
     /// An empty context.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A context carrying a fault-injection plan.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        GraphContext {
+            faults,
+            ..Self::default()
+        }
     }
 
     /// Drops all cached entries from both caches.

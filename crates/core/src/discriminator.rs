@@ -79,12 +79,7 @@ pub fn select_correspondence(
     let nq = f_q.len();
     // Query vertices in ascending f_ω(h_u) order.
     let mut order: Vec<u32> = (0..nq as u32).collect();
-    order.sort_by(|&a, &b| {
-        f_q[a as usize]
-            .partial_cmp(&f_q[b as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| f_q[a as usize].total_cmp(&f_q[b as usize]).then(a.cmp(&b)));
 
     let mut owner: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     let mut assigned: Vec<Option<u32>> = vec![None; nq];
@@ -116,12 +111,7 @@ fn assign(
 ) -> bool {
     // Candidates of u sorted by descending critic score.
     let mut cands: Vec<u32> = local_cs[u as usize].clone();
-    cands.sort_by(|&a, &b| {
-        f_s[b as usize]
-            .partial_cmp(&f_s[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    cands.sort_by(|&a, &b| f_s[b as usize].total_cmp(&f_s[a as usize]).then(a.cmp(&b)));
     // First pass: a free candidate.
     for &v in &cands {
         if let std::collections::hash_map::Entry::Vacant(slot) = owner.entry(v) {
@@ -161,20 +151,10 @@ fn assign(
 pub fn select_correspondence_unconstrained(f_q: &[f32], f_s: &[f32]) -> (Vec<u32>, Vec<u32>) {
     let k = f_q.len().min(f_s.len());
     let mut qs: Vec<u32> = (0..f_q.len() as u32).collect();
-    qs.sort_by(|&a, &b| {
-        f_q[a as usize]
-            .partial_cmp(&f_q[b as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    qs.sort_by(|&a, &b| f_q[a as usize].total_cmp(&f_q[b as usize]).then(a.cmp(&b)));
     qs.truncate(k);
     let mut ds: Vec<u32> = (0..f_s.len() as u32).collect();
-    ds.sort_by(|&a, &b| {
-        f_s[b as usize]
-            .partial_cmp(&f_s[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    ds.sort_by(|&a, &b| f_s[b as usize].total_cmp(&f_s[a as usize]).then(a.cmp(&b)));
     ds.truncate(k);
     (qs, ds)
 }

@@ -26,15 +26,14 @@ pub fn select_nearest_pairs(
             continue;
         }
         let hu = h_q.row(u);
-        let best = cands
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let da = value_distance(hu, h_sub.row(a as usize), metric);
-                let db = value_distance(hu, h_sub.row(b as usize), metric);
-                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
-            })
-            .unwrap();
+        let best = cands.iter().copied().min_by(|&a, &b| {
+            let da = value_distance(hu, h_sub.row(a as usize), metric);
+            let db = value_distance(hu, h_sub.row(b as usize), metric);
+            da.total_cmp(&db).then(a.cmp(&b))
+        });
+        let Some(best) = best else {
+            unreachable!("cands is non-empty");
+        };
         qs.push(u as u32);
         ds.push(best);
     }

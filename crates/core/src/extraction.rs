@@ -10,7 +10,10 @@ use crate::context::GraphContext;
 use neursc_graph::induced::{connected_components, induced_subgraph};
 use neursc_graph::types::VertexId;
 use neursc_graph::Graph;
-use neursc_match::{filter_candidates, filter_candidates_with, CandidateSets};
+use neursc_match::{
+    filter_candidates, filter_candidates_budgeted, filter_candidates_with, CandidateSets,
+    FilterBudget, FilterError,
+};
 
 /// One connected candidate substructure with local candidate sets.
 #[derive(Debug, Clone)]
@@ -47,6 +50,10 @@ pub struct Extraction {
     /// True when filtering already proves the count is 0 (empty `CS(u)` or
     /// `|∪CS| < |V(q)|` — Algorithm 1's early termination).
     pub trivially_zero: bool,
+    /// True when a filtering budget ran out during refinement: the
+    /// candidate sets are sound but looser than an unbudgeted run's, so the
+    /// substructures may be larger. Always `false` on unbudgeted paths.
+    pub degraded: bool,
 }
 
 impl Extraction {
@@ -61,7 +68,7 @@ impl Extraction {
 
 /// Runs filtering + extraction for `(q, G)` under `cfg`.
 pub fn extract_substructures(q: &Graph, g: &Graph, cfg: &NeurScConfig) -> Extraction {
-    extract_from_candidates(q, g, cfg, filter_candidates(q, g, &cfg.filter))
+    extract_from_candidates(q, g, cfg, filter_candidates(q, g, &cfg.filter), false)
 }
 
 /// [`extract_substructures`] with the data-graph profiles served from a
@@ -75,7 +82,31 @@ pub fn extract_substructures_with(
 ) -> Extraction {
     let profiles = ctx.profiles.profiles(g, cfg.filter.profile_radius);
     let candidates = filter_candidates_with(q, g, &cfg.filter, &profiles);
-    extract_from_candidates(q, g, cfg, candidates)
+    extract_from_candidates(q, g, cfg, candidates, false)
+}
+
+/// [`extract_substructures_with`] under a [`FilterBudget`].
+///
+/// Budget exhaustion during refinement degrades gracefully — the returned
+/// extraction is built from sound-but-looser candidate sets and carries
+/// `degraded: true`. Exhaustion during local pruning is a typed error (no
+/// sound partial result exists at that point).
+pub fn extract_substructures_budgeted(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    ctx: &GraphContext,
+    budget: &FilterBudget,
+) -> Result<Extraction, FilterError> {
+    let profiles = ctx.profiles.profiles(g, cfg.filter.profile_radius);
+    let out = filter_candidates_budgeted(q, g, &cfg.filter, &profiles, budget)?;
+    Ok(extract_from_candidates(
+        q,
+        g,
+        cfg,
+        out.candidates,
+        out.degraded,
+    ))
 }
 
 fn extract_from_candidates(
@@ -83,12 +114,14 @@ fn extract_from_candidates(
     g: &Graph,
     cfg: &NeurScConfig,
     candidates: CandidateSets,
+    degraded: bool,
 ) -> Extraction {
     if candidates.is_trivially_zero() {
         return Extraction {
             candidates,
             substructures: Vec::new(),
             trivially_zero: true,
+            degraded,
         };
     }
     let mut union = Vec::new();
@@ -133,6 +166,7 @@ fn extract_from_candidates(
         candidates,
         substructures,
         trivially_zero: false,
+        degraded,
     }
 }
 
@@ -170,8 +204,7 @@ fn truncate_substructure(sub: &Substructure, q: &Graph, cap: usize) -> Substruct
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_by(|&a, &b| {
         priority[b as usize]
-            .partial_cmp(&priority[a as usize])
-            .unwrap()
+            .total_cmp(&priority[a as usize])
             .then(sub.graph.degree(b).cmp(&sub.graph.degree(a)))
             .then(a.cmp(&b))
     });
@@ -311,6 +344,29 @@ mod tests {
             }
         }
         assert_eq!(ctx.profiles.len(), 1);
+    }
+
+    #[test]
+    fn budgeted_extraction_matches_unbudgeted_when_generous() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let ctx = GraphContext::new();
+        let plain = extract_substructures(&q, &g, &cfg());
+        let budgeted =
+            extract_substructures_budgeted(&q, &g, &cfg(), &ctx, &FilterBudget::UNBOUNDED).unwrap();
+        assert!(!budgeted.degraded);
+        assert_eq!(budgeted.candidates, plain.candidates);
+        assert_eq!(budgeted.substructures.len(), plain.substructures.len());
+    }
+
+    #[test]
+    fn starved_extraction_budget_is_a_typed_error() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let ctx = GraphContext::new();
+        let err = extract_substructures_budgeted(&q, &g, &cfg(), &ctx, &FilterBudget::steps(0))
+            .unwrap_err();
+        assert!(matches!(err, FilterError::BudgetExhausted { .. }));
     }
 
     #[test]

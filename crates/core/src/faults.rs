@@ -1,0 +1,90 @@
+//! Deterministic fault injection for the estimation pipeline.
+//!
+//! A [`FaultPlan`] lets tests (and chaos drills) poison specific batch
+//! items *through the public API*: the batched entry points consult the
+//! plan attached to their [`crate::GraphContext`] and either panic inside
+//! the worker (exercising the `catch_unwind` containment of
+//! [`crate::parallel::parallel_map_caught`]) or starve the item's filtering
+//! budget (exercising the typed `Budget` error path). The default plan is
+//! empty and adds one hash-set lookup per item — negligible next to
+//! filtering.
+//!
+//! This lives in the library rather than in test code so the containment
+//! guarantee is provable against the exact production code path, not a
+//! test-only replica (`tests/fault_injection.rs`).
+
+use std::collections::HashSet;
+
+/// Which batch items to poison, and how.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    panic_items: HashSet<usize>,
+    starve_items: HashSet<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a panic for batch item `i`.
+    pub fn panic_on(mut self, i: usize) -> Self {
+        self.panic_items.insert(i);
+        self
+    }
+
+    /// Arms budget starvation (a zero-step filtering budget) for item `i`.
+    pub fn starve_budget_on(mut self, i: usize) -> Self {
+        self.starve_items.insert(i);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_items.is_empty() && self.starve_items.is_empty()
+    }
+
+    /// Panics iff a panic is armed for item `i` — called by batch workers.
+    pub fn trip_panic(&self, i: usize) {
+        if self.panic_items.contains(&i) {
+            panic!("injected fault: panic armed for batch item {i}");
+        }
+    }
+
+    /// Whether item `i` must run with a zero-step filtering budget.
+    pub fn starved(&self, i: usize) -> bool {
+        self.starve_items.contains(&i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        for i in 0..100 {
+            p.trip_panic(i);
+            assert!(!p.starved(i));
+        }
+    }
+
+    #[test]
+    fn armed_panic_fires_only_on_its_item() {
+        let p = FaultPlan::new().panic_on(3);
+        assert!(!p.is_empty());
+        p.trip_panic(2);
+        let r = std::panic::catch_unwind(|| p.trip_panic(3));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn starvation_is_per_item() {
+        let p = FaultPlan::new().starve_budget_on(5).panic_on(1);
+        assert!(p.starved(5));
+        assert!(!p.starved(1));
+    }
+}

@@ -42,16 +42,23 @@
 //! let mut model = NeurSc::new(NeurScConfig::small(), 7);
 //! model.fit(&g, &train).unwrap();
 //! let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
-//! let estimate = model.estimate(&q, &g);
+//! let estimate = model.estimate(&q, &g).unwrap();
 //! assert!(estimate >= 0.0);
 //! ```
+//!
+//! Every fallible entry point returns [`NeurScError`]; the batched APIs
+//! ([`NeurSc::estimate_batch`], [`NeurSc::prepare_batch`]) contain
+//! per-query panics and budget exhaustion to the offending slot — see
+//! DESIGN.md "Failure semantics".
 
 pub mod bipartite;
 pub mod config;
 pub mod context;
 pub mod discriminator;
 pub mod distances;
+pub mod error;
 pub mod extraction;
+pub mod faults;
 pub mod loss;
 pub mod model;
 pub mod parallel;
@@ -60,9 +67,15 @@ pub mod sampling;
 pub mod train;
 pub mod west;
 
-pub use config::{DiscriminatorMetric, NeurScConfig, Parallelism, Variant};
+pub use config::{DiscriminatorMetric, NeurScConfig, Parallelism, ResourceBudget, Variant};
 pub use context::GraphContext;
-pub use extraction::{extract_substructures, extract_substructures_with, Extraction, Substructure};
+pub use error::NeurScError;
+pub use extraction::{
+    extract_substructures, extract_substructures_budgeted, extract_substructures_with, Extraction,
+    Substructure,
+};
+pub use faults::FaultPlan;
 pub use loss::q_error;
-pub use model::NeurSc;
-pub use parallel::parallel_map_indexed;
+pub use model::{EstimateDetail, NeurSc};
+pub use parallel::{parallel_map_caught, parallel_map_indexed, ItemPanic};
+pub use train::{validate_query, PreparedQuery, TrainReport};

@@ -81,7 +81,9 @@ pub fn log_sum_exp(tape: &mut Tape, log_counts: &[Var]) -> Var {
             None => e,
         });
     }
-    let total = sum.expect("non-empty");
+    let Some(total) = sum else {
+        unreachable!("log_counts is non-empty");
+    };
     let ln = tape.ln(total, 0.0);
     tape.add_scalar(ln, m)
 }

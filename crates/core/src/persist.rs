@@ -4,14 +4,24 @@
 //!
 //! ```text
 //! neursc-model v1
-//! <key> = <value>        # configuration lines
+//! checksum <16 hex digits>   # FNV-1a-64 of every byte after this line
+//! <key> = <value>            # configuration lines
 //! ...
 //! ---
-//! neursc-params v1 <n>   # the neursc_nn parameter-store format
+//! neursc-params v1 <n>       # the neursc_nn parameter-store format
 //! ...
 //! ```
+//!
+//! The checksum sits in the header (not the tail) so *truncation* — the
+//! most common corruption of an interrupted write — changes the covered
+//! bytes and fails verification, instead of silently removing a trailer.
+//! Files written before the checksum existed have a `<key> = <value>` line
+//! in its place and still load. Runtime knobs (`budget`, `grad_clip`,
+//! `fail_on_divergence`) are deliberately not persisted: they describe the
+//! serving environment, not the model.
 
 use crate::config::{DiscriminatorMetric, NeurScConfig, Parallelism, Variant};
+use crate::error::NeurScError;
 use crate::model::NeurSc;
 use neursc_gnn::{AttentionConfig, FeatureConfig, GinConfig};
 use neursc_match::FilterConfig;
@@ -19,12 +29,25 @@ use neursc_nn::serialize::{copy_values, store_from_string, store_to_string, Seri
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Serializes a model to text.
+/// FNV-1a 64-bit over raw bytes — tiny, dependency-free, and plenty to
+/// catch truncation and bit rot (this is an integrity check, not a MAC).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a model to text (checksummed format).
 pub fn model_to_string(model: &NeurSc) -> String {
     let c = &model.config;
-    let mut out = String::new();
-    out.push_str("neursc-model v1\n");
-    let mut kv = |k: &str, v: String| writeln!(out, "{k} = {v}").unwrap();
+    let mut body = String::new();
+    let mut kv = |k: &str, v: String| {
+        // Writing to a String cannot fail.
+        let _ = writeln!(body, "{k} = {v}");
+    };
     kv("degree_bits", c.features.degree_bits.to_string());
     kv("label_bits", c.features.label_bits.to_string());
     kv("k_hops", c.features.k_hops.to_string());
@@ -65,9 +88,12 @@ pub fn model_to_string(model: &NeurSc) -> String {
         "min_parallel_rows",
         c.parallelism.min_parallel_rows.to_string(),
     );
-    out.push_str("---\n");
-    out.push_str(&store_to_string(&model.store));
-    out
+    body.push_str("---\n");
+    body.push_str(&store_to_string(&model.store));
+    format!(
+        "neursc-model v1\nchecksum {:016x}\n{body}",
+        fnv1a64(body.as_bytes())
+    )
 }
 
 fn variant_name(v: Variant) -> &'static str {
@@ -88,18 +114,46 @@ fn metric_name(m: DiscriminatorMetric) -> &'static str {
     }
 }
 
-/// Parses a model back. The architecture is rebuilt from the config lines
-/// and the stored parameter values are copied in.
-pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
-    let mut lines = text.lines();
-    let header = lines.next().unwrap_or_default();
-    if header != "neursc-model v1" {
-        return Err(SerializeError::Parse("bad model header".into()));
+fn corrupt(detail: impl Into<String>) -> NeurScError {
+    NeurScError::Corrupt {
+        path: None,
+        detail: detail.into(),
     }
+}
+
+/// Parses a model back. The checksum (when present) is verified before any
+/// field is interpreted; the architecture is rebuilt from the config lines
+/// and the stored parameter values are copied in.
+pub fn model_from_string(text: &str) -> Result<NeurSc, NeurScError> {
+    let Some(after_header) = text.strip_prefix("neursc-model v1\n") else {
+        return Err(NeurScError::Persist(SerializeError::Parse(
+            "bad model header".into(),
+        )));
+    };
+    // Checksummed files carry `checksum <hex>` as their second line;
+    // earlier files go straight into `key = value` lines.
+    let body = if let Some(rest) = after_header.strip_prefix("checksum ") {
+        let Some((hex, body)) = rest.split_once('\n') else {
+            return Err(corrupt("checksum line is not terminated"));
+        };
+        let stored = u64::from_str_radix(hex.trim(), 16)
+            .map_err(|_| corrupt(format!("unreadable checksum {hex:?}")))?;
+        let actual = fnv1a64(body.as_bytes());
+        if stored != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch: file says {stored:016x}, contents hash to {actual:016x} \
+                 (truncated or bit-flipped?)"
+            )));
+        }
+        body
+    } else {
+        after_header
+    };
+
     let mut kv = std::collections::HashMap::new();
     let mut params_text = String::new();
     let mut in_params = false;
-    for line in lines {
+    for line in body.lines() {
         if in_params {
             params_text.push_str(line);
             params_text.push('\n');
@@ -134,14 +188,22 @@ pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
         "dual_only" => Variant::DualOnly,
         "intra_only" => Variant::IntraOnly,
         "no_extraction" => Variant::NoExtraction,
-        other => return Err(SerializeError::Parse(format!("unknown variant {other}"))),
+        other => {
+            return Err(NeurScError::Persist(SerializeError::Parse(format!(
+                "unknown variant {other}"
+            ))))
+        }
     };
     let metric = match get("metric")?.as_str() {
         "wasserstein" => DiscriminatorMetric::Wasserstein,
         "euclidean" => DiscriminatorMetric::Euclidean,
         "kl" => DiscriminatorMetric::KullbackLeibler,
         "js" => DiscriminatorMetric::JensenShannon,
-        other => return Err(SerializeError::Parse(format!("unknown metric {other}"))),
+        other => {
+            return Err(NeurScError::Persist(SerializeError::Parse(format!(
+                "unknown metric {other}"
+            ))))
+        }
     };
     let max_sub = match get("max_substructure_vertices")?.as_str() {
         "none" => None,
@@ -153,6 +215,15 @@ pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
     let seed: u64 = get("seed")?
         .parse()
         .map_err(|_| SerializeError::Parse("bad seed".into()))?;
+
+    // Runtime-only knobs are not persisted; a loaded model gets fresh
+    // defaults for them.
+    let NeurScConfig {
+        budget,
+        grad_clip,
+        fail_on_divergence,
+        ..
+    } = NeurScConfig::default();
 
     let config = NeurScConfig {
         features,
@@ -207,6 +278,9 @@ pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
                 },
             )?,
         },
+        budget,
+        grad_clip,
+        fail_on_divergence,
     };
 
     let mut model = NeurSc::new(config, seed);
@@ -215,15 +289,31 @@ pub fn model_from_string(text: &str) -> Result<NeurSc, SerializeError> {
     Ok(model)
 }
 
-/// Writes a model to a file.
-pub fn save_model(model: &NeurSc, path: &Path) -> Result<(), SerializeError> {
-    std::fs::write(path, model_to_string(model))?;
-    Ok(())
+fn attach_path(e: NeurScError, path: &Path) -> NeurScError {
+    match e {
+        NeurScError::Corrupt { path: None, detail } => NeurScError::Corrupt {
+            path: Some(path.to_path_buf()),
+            detail,
+        },
+        other => other,
+    }
 }
 
-/// Loads a model from a file.
-pub fn load_model(path: &Path) -> Result<NeurSc, SerializeError> {
-    model_from_string(&std::fs::read_to_string(path)?)
+/// Writes a model to a file.
+pub fn save_model(model: &NeurSc, path: &Path) -> Result<(), NeurScError> {
+    std::fs::write(path, model_to_string(model)).map_err(|e| NeurScError::Io {
+        path: Some(path.to_path_buf()),
+        source: e,
+    })
+}
+
+/// Loads a model from a file, verifying its checksum first.
+pub fn load_model(path: &Path) -> Result<NeurSc, NeurScError> {
+    let text = std::fs::read_to_string(path).map_err(|e| NeurScError::Io {
+        path: Some(path.to_path_buf()),
+        source: e,
+    })?;
+    model_from_string(&text).map_err(|e| attach_path(e, path))
 }
 
 #[cfg(test)]
@@ -239,10 +329,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
         let model = NeurSc::new(NeurScConfig::small(), 11);
-        let before = model.estimate(&q, &g);
+        let before = model.estimate(&q, &g).unwrap();
         let text = model_to_string(&model);
         let restored = model_from_string(&text).unwrap();
-        let after = restored.estimate(&q, &g);
+        let after = restored.estimate(&q, &g).unwrap();
         assert_eq!(before, after);
         assert_eq!(restored.config.seed, 11);
     }
@@ -274,10 +364,15 @@ mod tests {
         assert_eq!(restored.config.parallelism.threads, 4);
         assert_eq!(restored.config.parallelism.min_parallel_rows, 64);
 
-        // A file written before the parallelism keys existed must still load.
+        // A file written before the parallelism keys (and the checksum line)
+        // existed must still load.
         let stripped: String = text
             .lines()
-            .filter(|l| !l.starts_with("threads") && !l.starts_with("min_parallel_rows"))
+            .filter(|l| {
+                !l.starts_with("threads")
+                    && !l.starts_with("min_parallel_rows")
+                    && !l.starts_with("checksum")
+            })
             .map(|l| format!("{l}\n"))
             .collect();
         let old = model_from_string(&stripped).unwrap();
@@ -292,6 +387,43 @@ mod tests {
     }
 
     #[test]
+    fn truncated_file_fails_with_corruption_error() {
+        let model = NeurSc::new(NeurScConfig::small(), 21);
+        let text = model_to_string(&model);
+        let truncated = &text[..text.len() - 40];
+        let err = model_from_string(truncated).err().unwrap();
+        assert!(err.is_corruption(), "expected corruption, got: {err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn bit_flipped_file_fails_with_corruption_error() {
+        let model = NeurSc::new(NeurScConfig::small(), 22);
+        let mut bytes = model_to_string(&model).into_bytes();
+        // Flip a bit deep inside the parameter section.
+        let i = bytes.len() - 100;
+        bytes[i] ^= 0x04;
+        let text = String::from_utf8(bytes).unwrap();
+        let err = model_from_string(&text).err().unwrap();
+        assert!(err.is_corruption(), "expected corruption, got: {err}");
+    }
+
+    #[test]
+    fn loaded_model_gets_default_runtime_budget() {
+        let mut cfg = NeurScConfig::small();
+        cfg.budget.max_query_vertices = Some(7);
+        cfg.fail_on_divergence = true;
+        let model = NeurSc::new(cfg, 23);
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        // Runtime knobs are not persisted — the loaded model is on defaults.
+        assert_eq!(
+            restored.config.budget,
+            crate::config::ResourceBudget::default()
+        );
+        assert!(!restored.config.fail_on_divergence);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let model = NeurSc::new(NeurScConfig::small(), 5);
         let dir = std::env::temp_dir().join("neursc_core_persist_test");
@@ -300,6 +432,28 @@ mod tests {
         save_model(&model, &path).unwrap();
         let restored = load_model(&path).unwrap();
         assert_eq!(model_to_string(&model), model_to_string(&restored));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_error_carries_the_path() {
+        let missing = std::env::temp_dir().join("neursc_no_such_model.txt");
+        let err = load_model(&missing).err().unwrap();
+        assert!(err.is_io());
+        assert!(
+            err.to_string().contains("neursc_no_such_model.txt"),
+            "{err}"
+        );
+
+        let dir = std::env::temp_dir().join("neursc_core_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mangled.txt");
+        let model = NeurSc::new(NeurScConfig::small(), 24);
+        let text = model_to_string(&model);
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+        let err = load_model(&path).err().unwrap();
+        assert!(err.is_corruption());
+        assert!(err.to_string().contains("mangled.txt"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

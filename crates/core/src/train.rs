@@ -25,14 +25,15 @@ use crate::discriminator::{
     select_correspondence, select_correspondence_unconstrained, wasserstein_loss,
 };
 use crate::distances::{metric_loss, select_nearest_pairs};
-use crate::extraction::extract_substructures;
+use crate::error::NeurScError;
 use crate::loss::{count_loss, CountLossMode};
 use crate::model::NeurSc;
 use crate::west::WestOutput;
 use neursc_gnn::{init_features, EdgeList};
 use neursc_graph::Graph;
+use neursc_match::FilterBudget;
 use neursc_nn::optim::Adam;
-use neursc_nn::{Tape, Tensor, Var};
+use neursc_nn::{ParamId, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -65,11 +66,40 @@ pub struct PreparedQuery {
     pub truth: u64,
     /// Whether filtering alone proves the count is 0.
     pub trivially_zero: bool,
+    /// Whether a filtering budget forced degraded (sound-but-looser)
+    /// candidate sets — see [`crate::extraction::Extraction::degraded`].
+    pub degraded: bool,
+}
+
+/// Rejects queries the pipeline must not attempt: empty graphs (no vertex
+/// to featurize) and queries over the configured size cap.
+pub fn validate_query(q: &Graph, cfg: &NeurScConfig) -> Result<(), NeurScError> {
+    if q.n_vertices() == 0 {
+        return Err(NeurScError::InvalidQuery {
+            reason: "query has no vertices".into(),
+        });
+    }
+    if let Some(cap) = cfg.budget.max_query_vertices {
+        if q.n_vertices() > cap {
+            return Err(NeurScError::Budget {
+                detail: format!(
+                    "query has {} vertices, max_query_vertices is {cap}",
+                    q.n_vertices()
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Featurizes one query against the data graph under `cfg`.
-pub fn prepare_query(q: &Graph, g: &Graph, cfg: &NeurScConfig, truth: u64) -> PreparedQuery {
-    prepare_query_impl(q, g, cfg, truth, None)
+pub fn prepare_query(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    truth: u64,
+) -> Result<PreparedQuery, NeurScError> {
+    prepare_query_impl(q, g, cfg, truth, None, None)
 }
 
 /// [`prepare_query`] with the data-graph precomputations (vertex profiles,
@@ -82,8 +112,22 @@ pub fn prepare_query_with(
     cfg: &NeurScConfig,
     truth: u64,
     ctx: &GraphContext,
-) -> PreparedQuery {
-    prepare_query_impl(q, g, cfg, truth, Some(ctx))
+) -> Result<PreparedQuery, NeurScError> {
+    prepare_query_impl(q, g, cfg, truth, Some(ctx), None)
+}
+
+/// [`prepare_query_with`] under an explicit filtering budget (overriding
+/// `cfg.budget`) — the hook the batched pipeline uses for per-item budget
+/// starvation (fault injection) and future per-tenant budgets.
+pub fn prepare_query_budgeted(
+    q: &Graph,
+    g: &Graph,
+    cfg: &NeurScConfig,
+    truth: u64,
+    ctx: &GraphContext,
+    budget: &FilterBudget,
+) -> Result<PreparedQuery, NeurScError> {
+    prepare_query_impl(q, g, cfg, truth, Some(ctx), Some(*budget))
 }
 
 fn prepare_query_impl(
@@ -92,7 +136,10 @@ fn prepare_query_impl(
     cfg: &NeurScConfig,
     truth: u64,
     ctx: Option<&GraphContext>,
-) -> PreparedQuery {
+    budget_override: Option<FilterBudget>,
+) -> Result<PreparedQuery, NeurScError> {
+    validate_query(q, cfg)?;
+    let budget = budget_override.unwrap_or_else(|| cfg.budget.filter_budget());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e75_7263_7363_u64);
     let x_q = init_features(q, &cfg.features);
     let q_edges = EdgeList::from_graph(q);
@@ -109,18 +156,33 @@ fn prepare_query_impl(
             gb: EdgeList::from_pairs(&[], q.n_vertices() + g.n_vertices()),
             local_cs: vec![Vec::new(); q.n_vertices()],
         };
-        return PreparedQuery {
+        return Ok(PreparedQuery {
             x_q,
             q_edges,
             subs: vec![sub],
             truth,
             trivially_zero: false,
-        };
+            degraded: false,
+        });
     }
 
-    let ex = match ctx {
-        Some(ctx) => crate::extraction::extract_substructures_with(q, g, cfg, ctx),
-        None => extract_substructures(q, g, cfg),
+    let ex = if budget == FilterBudget::UNBOUNDED {
+        match ctx {
+            Some(ctx) => crate::extraction::extract_substructures_with(q, g, cfg, ctx),
+            None => crate::extraction::extract_substructures(q, g, cfg),
+        }
+    } else {
+        // The budgeted pipeline needs a profile cache; borrow the shared
+        // one or use a throwaway for the uncached entry point.
+        let local_ctx;
+        let ctx = match ctx {
+            Some(ctx) => ctx,
+            None => {
+                local_ctx = GraphContext::new();
+                &local_ctx
+            }
+        };
+        crate::extraction::extract_substructures_budgeted(q, g, cfg, ctx, &budget)?
     };
     let subs = ex
         .substructures
@@ -132,13 +194,14 @@ fn prepare_query_impl(
             local_cs: s.local_cs.clone(),
         })
         .collect();
-    PreparedQuery {
+    Ok(PreparedQuery {
         x_q,
         q_edges,
         subs,
         truth,
         trivially_zero: ex.trivially_zero,
-    }
+        degraded: ex.degraded,
+    })
 }
 
 /// Forward pass over all substructures of a prepared query on one tape.
@@ -173,14 +236,88 @@ pub fn forward_prepared(
 /// Summary of a training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
-    /// Pre-training epochs executed.
+    /// Pre-training epochs executed (may stop early on divergence).
     pub pretrain_epochs: usize,
-    /// Adversarial epochs executed.
+    /// Adversarial epochs executed (may stop early on divergence).
     pub adversarial_epochs: usize,
     /// Queries excluded because extraction produced nothing to learn from.
     pub skipped_queries: usize,
-    /// Mean count loss (log-q-error) over the final epoch.
+    /// Queries that failed preparation with a typed error (panic, budget,
+    /// invalid query) — counted by [`crate::NeurSc::fit`], always 0 when
+    /// `run_training` is called directly.
+    pub failed_queries: usize,
+    /// Mean count loss (log-q-error) over the final *finite* epoch.
     pub final_loss: f64,
+    /// Epoch (0-based, counting both phases) where a non-finite loss or
+    /// parameter stopped training, if any.
+    pub diverged_at: Option<usize>,
+    /// Whether parameters were restored to the best finite checkpoint after
+    /// divergence (always true when `diverged_at` is set — the initial
+    /// weights are the fallback checkpoint).
+    pub rolled_back: bool,
+}
+
+/// Best-checkpoint snapshot + non-finite detection across epochs.
+///
+/// Seeded with the *initial* parameters at loss `+∞`, so even a run that
+/// diverges in its very first epoch rolls back to finite weights.
+struct DivergenceGuard {
+    params: Vec<ParamId>,
+    best_loss: f64,
+    best_snapshot: Vec<Tensor>,
+    diverged_at: Option<usize>,
+    diverged_loss: f64,
+    rolled_back: bool,
+    epoch: usize,
+}
+
+impl DivergenceGuard {
+    fn new(model: &NeurSc) -> Self {
+        let params: Vec<ParamId> = model.store.ids().collect();
+        let best_snapshot = params
+            .iter()
+            .map(|&p| model.store.value(p).clone())
+            .collect();
+        DivergenceGuard {
+            params,
+            best_loss: f64::INFINITY,
+            best_snapshot,
+            diverged_at: None,
+            diverged_loss: f64::NAN,
+            rolled_back: false,
+            epoch: 0,
+        }
+    }
+
+    fn params_non_finite(&self, model: &NeurSc) -> bool {
+        self.params
+            .iter()
+            .any(|&p| model.store.value(p).has_non_finite())
+    }
+
+    /// Inspects one finished epoch; returns `true` when training must stop
+    /// (parameters have already been rolled back to the best checkpoint).
+    fn observe_epoch(&mut self, model: &mut NeurSc, epoch_loss: f64) -> bool {
+        if !epoch_loss.is_finite() || self.params_non_finite(model) {
+            self.diverged_at = Some(self.epoch);
+            self.diverged_loss = epoch_loss;
+            for (&p, snap) in self.params.iter().zip(&self.best_snapshot) {
+                *model.store.value_mut(p) = snap.clone();
+            }
+            self.rolled_back = true;
+            return true;
+        }
+        if epoch_loss <= self.best_loss {
+            self.best_loss = epoch_loss;
+            self.best_snapshot = self
+                .params
+                .iter()
+                .map(|&p| model.store.value(p).clone())
+                .collect();
+        }
+        self.epoch += 1;
+        false
+    }
 }
 
 /// Runs both training phases over prepared queries.
@@ -197,7 +334,10 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
             pretrain_epochs: 0,
             adversarial_epochs: 0,
             skipped_queries: skipped,
+            failed_queries: 0,
             final_loss: f64::NAN,
+            diverged_at: None,
+            rolled_back: false,
         };
     }
 
@@ -206,6 +346,10 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
     let mut opt_est = Adam::new(cfg.lr_est);
     let mut opt_disc = Adam::new(cfg.lr_disc);
     let mut final_loss = f64::NAN;
+    let mut guard = DivergenceGuard::new(model);
+    let mut pre_done = 0;
+    let mut adv_done = 0;
+    let mut stopped = false;
 
     // ---- Phase 1: count-loss pre-training --------------------------------
     let mut order: Vec<usize> = (0..usable.len()).collect();
@@ -222,17 +366,31 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
                     continue;
                 };
                 let lc = count_loss(&mut tape, &zs, pq.truth, CountLossMode::LogQError);
-                epoch_loss += tape.value(lc).item() as f64;
+                let l = tape.value(lc).item() as f64;
+                epoch_loss += l;
+                if !l.is_finite() {
+                    // A non-finite loss has no usable gradient; the epoch
+                    // total is already poisoned and the guard will catch it.
+                    continue;
+                }
                 tape.backward(lc, &mut model.store);
                 acc.absorb(model);
             }
-            acc.step(model, &mut opt_est);
+            acc.step(model, &mut opt_est, cfg.grad_clip);
         }
         final_loss = epoch_loss / usable.len() as f64;
+        if guard.observe_epoch(model, final_loss) {
+            stopped = true;
+            break;
+        }
+        pre_done += 1;
     }
 
     // ---- Phase 2: adversarial fine-tuning (Algorithm 3) ------------------
     for _epoch in 0..cfg.adversarial_epochs {
+        if stopped {
+            break;
+        }
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
@@ -285,22 +443,38 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
                     }
                     None => lc,
                 };
+                if !(tape.value(total).item() as f64).is_finite() {
+                    continue;
+                }
                 model.store.zero_grads();
                 tape.backward(total, &mut model.store);
                 // Only θ gradients are absorbed; ω gradients from L_w are
                 // dropped (ω is stepped exclusively by its own optimizer).
                 acc.absorb(model);
             }
-            acc.step(model, &mut opt_est);
+            acc.step(model, &mut opt_est, cfg.grad_clip);
         }
         final_loss = epoch_loss / usable.len() as f64;
+        if guard.observe_epoch(model, final_loss) {
+            break;
+        }
+        adv_done += 1;
     }
 
+    if guard.rolled_back {
+        // The reported loss is the checkpoint actually left in the model;
+        // the diverged value travels in `NeurScError::Divergence` when the
+        // caller asked to fail hard.
+        final_loss = guard.diverged_loss;
+    }
     TrainReport {
-        pretrain_epochs: cfg.pretrain_epochs,
-        adversarial_epochs: cfg.adversarial_epochs,
+        pretrain_epochs: pre_done,
+        adversarial_epochs: adv_done,
         skipped_queries: skipped,
+        failed_queries: 0,
         final_loss,
+        diverged_at: guard.diverged_at,
+        rolled_back: guard.rolled_back,
     }
 }
 
@@ -414,8 +588,9 @@ impl GradAccum {
         self.count += 1;
     }
 
-    /// Writes averaged gradients back and steps the optimizer.
-    fn step(&mut self, model: &mut NeurSc, opt: &mut Adam) {
+    /// Writes averaged gradients back, clips their global norm when asked,
+    /// and steps the optimizer.
+    fn step(&mut self, model: &mut NeurSc, opt: &mut Adam, grad_clip: Option<f32>) {
         if self.count == 0 {
             return;
         }
@@ -424,6 +599,9 @@ impl GradAccum {
             let g = model.store.grad_mut(p);
             g.fill(0.0);
             g.axpy_assign(inv, buf);
+        }
+        if let Some(max_norm) = grad_clip {
+            neursc_nn::optim::clip_grad_norm(&mut model.store, &self.params, max_norm);
         }
         opt.step_subset(&mut model.store, &self.params);
         model.store.zero_grads();
@@ -456,7 +634,7 @@ mod tests {
         let g = erdos_renyi(100, 300, 3, 1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
-        let pq = prepare_query(&q, &g, &quick_cfg(), 5);
+        let pq = prepare_query(&q, &g, &quick_cfg(), 5).unwrap();
         assert_eq!(pq.truth, 5);
         assert_eq!(pq.x_q.rows(), 4);
         assert!(!pq.trivially_zero);
@@ -473,7 +651,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
         let cfg = quick_cfg().with_variant(Variant::NoExtraction);
-        let pq = prepare_query(&q, &g, &cfg, 0);
+        let pq = prepare_query(&q, &g, &cfg, 0).unwrap();
         assert_eq!(pq.subs.len(), 1);
         assert_eq!(pq.subs[0].x.rows(), g.n_vertices());
     }
@@ -482,7 +660,7 @@ mod tests {
     fn prepare_query_marks_impossible_queries() {
         let g = erdos_renyi(50, 150, 3, 3);
         let q = neursc_graph::Graph::from_edges(2, &[0, 42], &[(0, 1)]).unwrap();
-        let pq = prepare_query(&q, &g, &quick_cfg(), 0);
+        let pq = prepare_query(&q, &g, &quick_cfg(), 0).unwrap();
         assert!(pq.trivially_zero);
         assert!(pq.subs.is_empty());
     }
@@ -533,7 +711,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
         let model = NeurSc::new(quick_cfg(), 6);
-        let pq = prepare_query(&q, &g, &model.config, 0);
+        let pq = prepare_query(&q, &g, &model.config, 0).unwrap();
         let mut tape = Tape::new();
         let (outs, zs) = forward_prepared(&model, &mut tape, &pq).unwrap();
         assert_eq!(outs.len(), pq.subs.len());
@@ -556,7 +734,8 @@ pub fn prepare_query_perfect(
     cfg: &NeurScConfig,
     truth: u64,
     oracle_budget: u64,
-) -> PreparedQuery {
+) -> Result<PreparedQuery, NeurScError> {
+    validate_query(q, cfg)?;
     let Some(matched) = neursc_match::enumerate::matched_vertex_set(q, g, oracle_budget) else {
         return prepare_query(q, g, cfg, truth); // oracle too expensive
     };
@@ -564,13 +743,14 @@ pub fn prepare_query_perfect(
     let x_q = init_features(q, &cfg.features);
     let q_edges = EdgeList::from_graph(q);
     if matched.is_empty() {
-        return PreparedQuery {
+        return Ok(PreparedQuery {
             x_q,
             q_edges,
             subs: Vec::new(),
             truth,
             trivially_zero: true,
-        };
+            degraded: false,
+        });
     }
     // Perfect substructure(s): induced on the matched set, split into
     // components; candidates restricted to the matched vertices.
@@ -613,13 +793,14 @@ pub fn prepare_query_perfect(
             local_cs: sub.local_cs,
         });
     }
-    PreparedQuery {
+    Ok(PreparedQuery {
         x_q,
         q_edges,
         subs,
         truth,
         trivially_zero: false,
-    }
+        degraded: false,
+    })
 }
 
 #[cfg(test)]
@@ -639,8 +820,8 @@ mod perfect_tests {
             if count_embeddings(&q, &g, 100_000_000).exact().is_none() {
                 continue;
             }
-            let regular = prepare_query(&q, &g, &cfg, 0);
-            let perfect = prepare_query_perfect(&q, &g, &cfg, 0, 200_000_000);
+            let regular = prepare_query(&q, &g, &cfg, 0).unwrap();
+            let perfect = prepare_query_perfect(&q, &g, &cfg, 0, 200_000_000).unwrap();
             let reg_vertices: usize = regular.subs.iter().map(|s| s.x.rows()).sum();
             let perf_vertices: usize = perfect.subs.iter().map(|s| s.x.rows()).sum();
             assert!(
@@ -655,7 +836,7 @@ mod perfect_tests {
     fn perfect_marks_zero_count_queries() {
         let g = erdos_renyi(50, 150, 3, 8);
         let q = neursc_graph::Graph::from_edges(2, &[0, 42], &[(0, 1)]).unwrap();
-        let pq = prepare_query_perfect(&q, &g, &NeurScConfig::small(), 0, 1_000_000);
+        let pq = prepare_query_perfect(&q, &g, &NeurScConfig::small(), 0, 1_000_000).unwrap();
         assert!(pq.trivially_zero);
     }
 
@@ -665,8 +846,8 @@ mod perfect_tests {
         let mut rng = StdRng::seed_from_u64(9);
         let q = sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap();
         let cfg = NeurScConfig::small();
-        let fallback = prepare_query_perfect(&q, &g, &cfg, 3, 0); // budget 0
-        let regular = prepare_query(&q, &g, &cfg, 3);
+        let fallback = prepare_query_perfect(&q, &g, &cfg, 3, 0).unwrap(); // budget 0
+        let regular = prepare_query(&q, &g, &cfg, 3).unwrap();
         assert_eq!(fallback.subs.len(), regular.subs.len());
     }
 }

@@ -56,17 +56,22 @@ fn run_pipeline(threads: usize) -> Vec<u64> {
 
     // Paper Figure 1 graphs: the worked example from §4.
     let (pq, pg) = (paper_query_graph(), paper_data_graph());
-    bits.push(model.estimate(&pq, &pg).to_bits());
+    bits.push(model.estimate(&pq, &pg).unwrap().to_bits());
 
     // Batched estimation over a shared context.
     let (g, queries) = workload(7);
     let ctx = GraphContext::new();
     for d in model.estimate_batch(&queries, &g, &ctx) {
-        bits.push(d.count.to_bits());
+        bits.push(d.unwrap().count.to_bits());
     }
 
     // Single-query cached path must agree with the batch.
-    bits.push(model.estimate_with(&queries[0], &g, &ctx).to_bits());
+    bits.push(
+        model
+            .estimate_with(&queries[0], &g, &ctx)
+            .unwrap()
+            .to_bits(),
+    );
     bits
 }
 
@@ -96,7 +101,7 @@ fn threads_1_and_4_are_bit_identical() {
         cfg.parallelism.apply_to_kernels();
         let mut model = NeurSc::new(cfg, 42);
         model.fit(&g, &labeled).unwrap();
-        ests.push(model.estimate(&queries[0], &g).to_bits());
+        ests.push(model.estimate(&queries[0], &g).unwrap().to_bits());
     }
     assert_eq!(
         ests[0], ests[1],

@@ -157,7 +157,7 @@ proptest! {
         q in arb_connected_query(3),
     ) {
         let cfg = NeurScConfig::small();
-        let pq = prepare_query(&q, &g, &cfg, 0);
+        let pq = prepare_query(&q, &g, &cfg, 0).unwrap();
         let nq = q.n_vertices();
         for sub in &pq.subs {
             let n = nq + sub.x.rows();

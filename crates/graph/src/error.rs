@@ -1,6 +1,7 @@
 //! Error type for graph construction and I/O.
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors produced while building, loading or saving graphs.
 #[derive(Debug)]
@@ -21,8 +22,33 @@ pub enum GraphError {
         /// Human-readable description of what went wrong.
         message: String,
     },
-    /// Underlying I/O failure.
-    Io(std::io::Error),
+    /// Underlying I/O failure, with the file path when one is known.
+    Io {
+        /// The file being read or written (`None` for pathless streams).
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl GraphError {
+    /// Wraps an I/O error with the path of the file involved.
+    pub fn io_at(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        GraphError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+
+    /// Whether this is a parse (format) failure rather than an I/O one.
+    pub fn is_parse(&self) -> bool {
+        matches!(
+            self,
+            GraphError::Parse { .. }
+                | GraphError::VertexOutOfRange { .. }
+                | GraphError::SelfLoop(_)
+        )
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -36,7 +62,11 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
-            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Io {
+                path: Some(p),
+                source,
+            } => write!(f, "i/o error on {}: {source}", p.display()),
+            GraphError::Io { path: None, source } => write!(f, "i/o error: {source}"),
         }
     }
 }
@@ -44,7 +74,7 @@ impl fmt::Display for GraphError {
 impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            GraphError::Io(e) => Some(e),
+            GraphError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -52,7 +82,10 @@ impl std::error::Error for GraphError {
 
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
-        GraphError::Io(e)
+        GraphError::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
@@ -84,5 +117,24 @@ mod tests {
         use std::error::Error;
         let e = GraphError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn io_error_with_path_names_the_file() {
+        let e = GraphError::io_at("/tmp/data.graph", std::io::Error::other("boom"));
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/data.graph"), "missing path in {msg:?}");
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn parse_classification() {
+        assert!(GraphError::SelfLoop(0).is_parse());
+        assert!(GraphError::Parse {
+            line: 1,
+            message: String::new()
+        }
+        .is_parse());
+        assert!(!GraphError::from(std::io::Error::other("x")).is_parse());
     }
 }

@@ -147,7 +147,8 @@ pub fn community_with_labels(
         }
         let key = if u < v { (u, v) } else { (v, u) };
         if seen.insert(key) {
-            b.add_edge(u, v).expect("in range");
+            b.add_edge(u, v)
+                .unwrap_or_else(|_| unreachable!("in range"));
             added += 1;
         }
     }
@@ -204,7 +205,8 @@ pub fn erdos_renyi_with_labels(n: usize, m: usize, labels: &[Label], rng: &mut S
             }
             let key = if u < v { (u, v) } else { (v, u) };
             if seen.insert(key) {
-                b.add_edge(u, v).expect("in range");
+                b.add_edge(u, v)
+                    .unwrap_or_else(|_| unreachable!("in range"));
             }
         }
     }
@@ -243,7 +245,8 @@ pub fn preferential_attachment_with_labels(
     let mut urn: Vec<VertexId> = Vec::with_capacity(2 * n * m_per);
     for u in 0..seed_size {
         for v in (u + 1)..seed_size {
-            b.add_edge(u as VertexId, v as VertexId).expect("in range");
+            b.add_edge(u as VertexId, v as VertexId)
+                .unwrap_or_else(|_| unreachable!("in range"));
             urn.push(u as VertexId);
             urn.push(v as VertexId);
         }
@@ -267,7 +270,8 @@ pub fn preferential_attachment_with_labels(
             }
         }
         for &t in targets.iter() {
-            b.add_edge(v as VertexId, t).expect("in range");
+            b.add_edge(v as VertexId, t)
+                .unwrap_or_else(|_| unreachable!("in range"));
             urn.push(v as VertexId);
             urn.push(t);
         }

@@ -203,7 +203,7 @@ impl Graph {
         if self.offsets.len() != self.n_vertices() + 1 {
             return false;
         }
-        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+        if self.offsets[0] != 0 || self.offsets.last() != Some(&self.neighbors.len()) {
             return false;
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {

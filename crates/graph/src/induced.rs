@@ -52,7 +52,7 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> InducedSubgraph {
             if q > p {
                 if let Ok(j) = origin.binary_search(&q) {
                     b.add_edge(i as VertexId, j as VertexId)
-                        .expect("indices are in range by construction");
+                        .unwrap_or_else(|_| unreachable!("indices are in range by construction"));
                 }
             }
         }

@@ -27,7 +27,10 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
     let mut n_declared: Option<usize> = None;
     let mut m_declared: Option<usize> = None;
     let mut labels: Vec<Label> = Vec::new();
+    // `(declared degree, defining line)` per vertex; the line also marks the
+    // vertex as defined so duplicate `v` records can be rejected.
     let mut declared_degrees: Vec<Option<usize>> = Vec::new();
+    let mut defined_at: Vec<Option<usize>> = Vec::new();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
@@ -37,7 +40,9 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
             continue;
         }
         let mut tok = line.split_whitespace();
-        let kind = tok.next().unwrap();
+        let Some(kind) = tok.next() else {
+            continue; // unreachable: trimmed non-empty line has a token
+        };
         let parse_num = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
             s.ok_or_else(|| GraphError::Parse {
                 line: line_no,
@@ -51,10 +56,12 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
         };
         match kind {
             "t" => {
-                n_declared = Some(parse_num(tok.next(), "vertex count")? as usize);
+                let n = parse_num(tok.next(), "vertex count")? as usize;
+                n_declared = Some(n);
                 m_declared = Some(parse_num(tok.next(), "edge count")? as usize);
-                labels = vec![0; n_declared.unwrap()];
-                declared_degrees = vec![None; n_declared.unwrap()];
+                labels = vec![0; n];
+                declared_degrees = vec![None; n];
+                defined_at = vec![None; n];
             }
             "v" => {
                 let id = parse_num(tok.next(), "vertex id")? as usize;
@@ -66,6 +73,15 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                         message: format!("vertex id {id} exceeds declared count {n}"),
                     });
                 }
+                if let Some(first) = defined_at[id] {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "duplicate 'v' record for vertex {id} (first defined on line {first})"
+                        ),
+                    });
+                }
+                defined_at[id] = Some(line_no);
                 labels[id] = label;
                 if let Some(d) = tok.next() {
                     let d = d.parse::<usize>().map_err(|_| GraphError::Parse {
@@ -113,9 +129,10 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
         if let Some(d) = d {
             if g.degree(v as VertexId) != *d {
                 return Err(GraphError::Parse {
-                    line: 1,
+                    // Report at the `v` record that made the claim.
+                    line: defined_at[v].unwrap_or(1),
                     message: format!(
-                        "vertex {v} declares degree {d}, actual {}",
+                        "vertex {v} declares degree {d}, edge list gives {}",
                         g.degree(v as VertexId)
                     ),
                 });
@@ -138,20 +155,23 @@ pub fn format_graph(g: &Graph) -> String {
     out
 }
 
-/// Loads a graph from a `.graph` file.
+/// Loads a graph from a `.graph` file. I/O failures name the file.
 pub fn load_graph(path: &Path) -> Result<Graph, GraphError> {
-    let file = std::fs::File::open(path)?;
+    let file = std::fs::File::open(path).map_err(|e| GraphError::io_at(path, e))?;
     let mut reader = std::io::BufReader::new(file);
     let mut text = String::new();
-    reader.read_to_string(&mut text)?;
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| GraphError::io_at(path, e))?;
     parse_graph(&text)
 }
 
-/// Saves a graph to a `.graph` file.
+/// Saves a graph to a `.graph` file. I/O failures name the file.
 pub fn save_graph(g: &Graph, path: &Path) -> Result<(), GraphError> {
-    let file = std::fs::File::create(path)?;
+    let file = std::fs::File::create(path).map_err(|e| GraphError::io_at(path, e))?;
     let mut w = BufWriter::new(file);
-    w.write_all(format_graph(g).as_bytes())?;
+    w.write_all(format_graph(g).as_bytes())
+        .map_err(|e| GraphError::io_at(path, e))?;
     Ok(())
 }
 
@@ -187,6 +207,40 @@ mod tests {
     }
 
     #[test]
+    fn degree_mismatch_reports_the_declaring_line() {
+        // Vertex 1's record on line 3 lies about its degree.
+        let bad = "t 2 1\nv 0 0 1\nv 1 0 7\ne 0 1\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 3, "wrong line in {message:?}");
+                assert!(message.contains("vertex 1"));
+                assert!(message.contains("7"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_vertex_record_is_rejected() {
+        // Same id twice — the second would silently overwrite the label.
+        let bad = "t 2 1\nv 0 0 1\nv 0 3 1\nv 1 0 1\ne 0 1\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate"), "message: {message:?}");
+                assert!(message.contains("line 2"), "message: {message:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_vertex_record_with_identical_fields_is_still_rejected() {
+        let bad = "t 1 0\nv 0 0 0\nv 0 0 0\n";
+        assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
     fn edge_count_mismatch_is_rejected() {
         let bad = "t 2 3\nv 0 0 1\nv 1 0 1\ne 0 1\n";
         assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
@@ -215,6 +269,14 @@ mod tests {
         let ok = "t 2 1\nv 0 3\nv 1 4\ne 0 1\n";
         let g = parse_graph(ok).unwrap();
         assert_eq!(g.label(1), 4);
+    }
+
+    #[test]
+    fn load_error_names_the_missing_file() {
+        let path = std::env::temp_dir().join("neursc_io_no_such_file.graph");
+        let err = load_graph(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Io { path: Some(_), .. }));
+        assert!(err.to_string().contains("neursc_io_no_such_file.graph"));
     }
 
     #[test]

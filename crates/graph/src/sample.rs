@@ -127,7 +127,8 @@ fn thin_edges(g: &Graph, keep_prob: f64, rng: &mut StdRng) -> Graph {
     }
     for e in g.edges() {
         if tree_edge.contains(&e) || rng.gen::<f64>() < keep_prob {
-            b.add_edge(e.u, e.v).expect("in range");
+            b.add_edge(e.u, e.v)
+                .unwrap_or_else(|_| unreachable!("in range"));
         }
     }
     b.build()

@@ -1,0 +1,200 @@
+//! Resource budgets for candidate filtering.
+//!
+//! Mirrors [`crate::enumerate`]'s deterministic expansion budget: filtering
+//! work is metered in *steps* (candidate-pair tests), so a step budget cuts
+//! off pathological queries at a reproducible point regardless of machine
+//! speed or thread count. An optional wall-clock deadline is also supported
+//! for serving deployments; unlike steps it is inherently nondeterministic,
+//! so it is off by default and documented as such (DESIGN.md, "Failure
+//! semantics").
+
+use std::fmt;
+use std::time::Instant;
+
+/// A budget for one filtering run: a deterministic step cap plus an optional
+/// wall-clock deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterBudget {
+    /// Maximum candidate-pair tests across local pruning and refinement.
+    pub max_steps: u64,
+    /// Hard wall-clock cutoff (checked every [`WorkMeter::DEADLINE_STRIDE`]
+    /// steps to keep the meter cheap). `None` disables the check.
+    pub deadline: Option<Instant>,
+}
+
+impl FilterBudget {
+    /// No limits — the behaviour of the unbudgeted entry points.
+    pub const UNBOUNDED: FilterBudget = FilterBudget {
+        max_steps: u64::MAX,
+        deadline: None,
+    };
+
+    /// A deterministic step-only budget.
+    pub fn steps(max_steps: u64) -> Self {
+        FilterBudget {
+            max_steps,
+            deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Starts metering against this budget.
+    pub fn meter(&self) -> WorkMeter {
+        WorkMeter {
+            spent: 0,
+            next_deadline_check: WorkMeter::DEADLINE_STRIDE,
+            budget: *self,
+        }
+    }
+}
+
+impl Default for FilterBudget {
+    fn default() -> Self {
+        FilterBudget::UNBOUNDED
+    }
+}
+
+/// Step counter charged by the filtering phases.
+#[derive(Debug, Clone)]
+pub struct WorkMeter {
+    spent: u64,
+    next_deadline_check: u64,
+    budget: FilterBudget,
+}
+
+impl WorkMeter {
+    /// How many steps pass between wall-clock checks — `Instant::now()` per
+    /// pair test would dominate the work being metered.
+    pub const DEADLINE_STRIDE: u64 = 1024;
+
+    /// Records `steps` units of work; errors once the budget is exceeded.
+    #[inline]
+    pub fn charge(&mut self, steps: u64) -> Result<(), BudgetExceeded> {
+        self.spent = self.spent.saturating_add(steps);
+        if self.spent > self.budget.max_steps {
+            return Err(BudgetExceeded);
+        }
+        if let Some(d) = self.budget.deadline {
+            if self.spent >= self.next_deadline_check {
+                self.next_deadline_check = self.spent.saturating_add(Self::DEADLINE_STRIDE);
+                if Instant::now() >= d {
+                    return Err(BudgetExceeded);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps charged so far.
+    #[inline]
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+/// Marker returned by [`WorkMeter::charge`] when the budget is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+/// Which filtering phase ran out of budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterPhase {
+    /// Label/degree/profile pruning — exhaustion here is fatal for the
+    /// query, because partially-built candidate sets are not complete
+    /// (Definition 2) and any estimate from them would be unsound.
+    LocalPruning,
+    /// Semi-perfect-matching refinement — exhaustion here degrades
+    /// gracefully: the pre-refinement sets are already complete, refinement
+    /// only tightens them.
+    Refinement,
+}
+
+impl fmt::Display for FilterPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterPhase::LocalPruning => write!(f, "local pruning"),
+            FilterPhase::Refinement => write!(f, "global refinement"),
+        }
+    }
+}
+
+/// Typed error for budgeted filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// The step or wall-clock budget ran out in a phase that cannot degrade.
+    BudgetExhausted {
+        /// Phase that hit the limit.
+        phase: FilterPhase,
+        /// Steps spent when the limit was hit.
+        spent: u64,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::BudgetExhausted { phase, spent } => write!(
+                f,
+                "filtering budget exhausted during {phase} after {spent} steps"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_meter_never_trips() {
+        let mut m = FilterBudget::UNBOUNDED.meter();
+        for _ in 0..10_000 {
+            assert!(m.charge(1_000_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn step_budget_trips_deterministically() {
+        let mut m = FilterBudget::steps(10).meter();
+        for _ in 0..10 {
+            assert!(m.charge(1).is_ok());
+        }
+        assert_eq!(m.charge(1), Err(BudgetExceeded));
+        assert_eq!(m.spent(), 11);
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_at_the_stride() {
+        let past = Instant::now() - Duration::from_secs(1);
+        let mut m = FilterBudget::UNBOUNDED.with_deadline(past).meter();
+        // Below the stride the clock is not consulted.
+        assert!(m.charge(WorkMeter::DEADLINE_STRIDE - 1).is_ok());
+        assert_eq!(m.charge(1), Err(BudgetExceeded));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let later = Instant::now() + Duration::from_secs(3600);
+        let mut m = FilterBudget::steps(1 << 20).with_deadline(later).meter();
+        assert!(m.charge(WorkMeter::DEADLINE_STRIDE * 4).is_ok());
+    }
+
+    #[test]
+    fn error_display_names_the_phase() {
+        let e = FilterError::BudgetExhausted {
+            phase: FilterPhase::LocalPruning,
+            spent: 42,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("local pruning"), "{msg}");
+        assert!(msg.contains("42"), "{msg}");
+    }
+}

@@ -80,6 +80,24 @@ pub fn local_pruning_with(
     r: u32,
     g_profiles: &[crate::profile::Profile],
 ) -> CandidateSets {
+    let mut meter = crate::budget::FilterBudget::UNBOUNDED.meter();
+    match local_pruning_metered(q, g, r, g_profiles, &mut meter) {
+        Ok(cs) => cs,
+        Err(_) => unreachable!("unbounded meter cannot trip"),
+    }
+}
+
+/// [`local_pruning_with`] charging one step per candidate-pair test to the
+/// supplied meter. Exhaustion aborts with an error: a partially-built set
+/// is not *complete* (Definition 2), so no sound estimate can follow.
+pub fn local_pruning_metered(
+    q: &Graph,
+    g: &Graph,
+    r: u32,
+    g_profiles: &[crate::profile::Profile],
+    meter: &mut crate::budget::WorkMeter,
+) -> Result<CandidateSets, crate::budget::FilterError> {
+    use crate::budget::{FilterError, FilterPhase};
     debug_assert_eq!(g_profiles.len(), g.n_vertices());
     let q_profiles = all_profiles(q, r);
 
@@ -90,24 +108,28 @@ pub fn local_pruning_with(
         by_label[g.label(v) as usize].push(v);
     }
 
-    let sets = q
-        .vertices()
-        .map(|u| {
-            let lu = q.label(u) as usize;
-            if lu >= by_label.len() {
-                return Vec::new();
+    let mut sets = Vec::with_capacity(q.n_vertices());
+    for u in q.vertices() {
+        let lu = q.label(u) as usize;
+        if lu >= by_label.len() {
+            sets.push(Vec::new());
+            continue;
+        }
+        let mut set = Vec::new();
+        for &v in &by_label[lu] {
+            meter.charge(1).map_err(|_| FilterError::BudgetExhausted {
+                phase: FilterPhase::LocalPruning,
+                spent: meter.spent(),
+            })?;
+            if g.degree(v) >= q.degree(u)
+                && subsumes(&g_profiles[v as usize], &q_profiles[u as usize])
+            {
+                set.push(v);
             }
-            by_label[lu]
-                .iter()
-                .copied()
-                .filter(|&v| {
-                    g.degree(v) >= q.degree(u)
-                        && subsumes(&g_profiles[v as usize], &q_profiles[u as usize])
-                })
-                .collect()
-        })
-        .collect();
-    CandidateSets { sets }
+        }
+        sets.push(set);
+    }
+    Ok(CandidateSets { sets })
 }
 
 #[cfg(test)]

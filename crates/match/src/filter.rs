@@ -3,8 +3,9 @@
 //! This is the GraphQL method the paper adopts (§4(1)), chosen in \[89\] for
 //! the best pruning power among the surveyed filters.
 
-use crate::candidates::{local_pruning_with, CandidateSets};
-use crate::refinement::global_refinement;
+use crate::budget::{FilterBudget, FilterError};
+use crate::candidates::{local_pruning_metered, local_pruning_with, CandidateSets};
+use crate::refinement::{global_refinement, global_refinement_metered};
 use neursc_graph::Graph;
 
 /// Filtering configuration.
@@ -49,6 +50,48 @@ pub fn filter_candidates_with(
         global_refinement(q, g, &mut cs, cfg.refinement_rounds);
     }
     cs
+}
+
+/// Result of a budgeted filtering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterOutput {
+    /// The candidate sets — always complete (Definition 2) when returned.
+    pub candidates: CandidateSets,
+    /// `true` when the budget ran out during refinement: the sets are sound
+    /// but looser than an unbudgeted run would produce.
+    pub degraded: bool,
+    /// Candidate-pair tests spent.
+    pub steps: u64,
+}
+
+/// [`filter_candidates_with`] under a [`FilterBudget`].
+///
+/// The degradation ladder (DESIGN.md, "Failure semantics"):
+/// - budget survives both phases → identical to the unbudgeted pipeline;
+/// - budget dies during *refinement* → `Ok` with `degraded: true`, the
+///   pre-cutoff candidate sets (complete, merely less tight);
+/// - budget dies during *local pruning* → `Err(BudgetExhausted)`, because a
+///   partially-built candidate set admits no sound estimate at all.
+pub fn filter_candidates_budgeted(
+    q: &Graph,
+    g: &Graph,
+    cfg: &FilterConfig,
+    g_profiles: &[crate::profile::Profile],
+    budget: &FilterBudget,
+) -> Result<FilterOutput, FilterError> {
+    let mut meter = budget.meter();
+    let mut cs = local_pruning_metered(q, g, cfg.profile_radius, g_profiles, &mut meter)?;
+    let mut degraded = false;
+    if !cs.any_empty() {
+        let (_, exhausted) =
+            global_refinement_metered(q, g, &mut cs, cfg.refinement_rounds, &mut meter);
+        degraded = exhausted;
+    }
+    Ok(FilterOutput {
+        candidates: cs,
+        degraded,
+        steps: meter.spent(),
+    })
 }
 
 #[cfg(test)]
@@ -98,6 +141,93 @@ mod tests {
             filter_candidates_with(&q, &g, &cfg, &profiles),
             filter_candidates(&q, &g, &cfg)
         );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_pipeline() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig::default();
+        let profiles = crate::profile::all_profiles(&g, cfg.profile_radius);
+        let out =
+            filter_candidates_budgeted(&q, &g, &cfg, &profiles, &FilterBudget::UNBOUNDED).unwrap();
+        assert!(!out.degraded);
+        assert!(out.steps > 0);
+        assert_eq!(out.candidates, filter_candidates(&q, &g, &cfg));
+    }
+
+    #[test]
+    fn zero_budget_errors_in_local_pruning() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig::default();
+        let profiles = crate::profile::all_profiles(&g, cfg.profile_radius);
+        let err = filter_candidates_budgeted(&q, &g, &cfg, &profiles, &FilterBudget::steps(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FilterError::BudgetExhausted {
+                phase: crate::budget::FilterPhase::LocalPruning,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn refinement_exhaustion_degrades_to_sound_supersets() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig::default();
+        let profiles = crate::profile::all_profiles(&g, cfg.profile_radius);
+        // Find the cost of local pruning alone, then allow just one more
+        // step so refinement is cut off almost immediately.
+        let pruning_steps = filter_candidates_budgeted(
+            &q,
+            &g,
+            &FilterConfig {
+                refinement_rounds: 0,
+                ..cfg
+            },
+            &profiles,
+            &FilterBudget::UNBOUNDED,
+        )
+        .unwrap()
+        .steps;
+        let out = filter_candidates_budgeted(
+            &q,
+            &g,
+            &cfg,
+            &profiles,
+            &FilterBudget::steps(pruning_steps + 1),
+        )
+        .unwrap();
+        assert!(out.degraded);
+        // Degraded sets must still contain everything the full pipeline keeps
+        // (completeness) and the known true match.
+        let full = filter_candidates(&q, &g, &cfg);
+        for u in q.vertices() {
+            for &v in full.get(u) {
+                assert!(
+                    out.candidates.contains(u, v),
+                    "degraded sets lost ({u},{v})"
+                );
+            }
+        }
+        for (u, v) in [(0u32, 0u32), (1, 3), (2, 4), (3, 9)] {
+            assert!(out.candidates.contains(u, v));
+        }
+    }
+
+    #[test]
+    fn budgeted_run_is_deterministic() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let cfg = FilterConfig::default();
+        let profiles = crate::profile::all_profiles(&g, cfg.profile_radius);
+        let budget = FilterBudget::steps(40);
+        let a = filter_candidates_budgeted(&q, &g, &cfg, &profiles, &budget);
+        let b = filter_candidates_budgeted(&q, &g, &cfg, &profiles, &budget);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!    behind semi-perfect matching checks.
 
 pub mod bipartite;
+pub mod budget;
 pub mod cache;
 pub mod candidates;
 pub mod enumerate;
@@ -26,7 +27,11 @@ pub mod profile;
 pub mod refinement;
 pub mod treedp;
 
+pub use budget::{FilterBudget, FilterError, FilterPhase, WorkMeter};
 pub use cache::ProfileCache;
 pub use candidates::CandidateSets;
 pub use enumerate::{count_embeddings, CountOutcome, CountResult};
-pub use filter::{filter_candidates, filter_candidates_with, FilterConfig};
+pub use filter::{
+    filter_candidates, filter_candidates_budgeted, filter_candidates_with, FilterConfig,
+    FilterOutput,
+};

@@ -57,7 +57,9 @@ pub fn build_order(q: &Graph, cs: &CandidateSets) -> MatchingOrder {
                 best_connected = connected;
             }
         }
-        let u = best.expect("some vertex remains");
+        let Some(u) = best else {
+            unreachable!("each pass places exactly one unplaced vertex")
+        };
         placed[u as usize] = true;
         order.push(u);
     }

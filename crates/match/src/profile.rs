@@ -125,13 +125,14 @@ pub fn paper_data_graph() -> Graph {
         (7, 11), // v8-v12
         (8, 11), // v9-v12
     ];
-    Graph::from_edges(13, &labels, &edges).unwrap()
+    Graph::from_edges(13, &labels, &edges).unwrap_or_else(|_| unreachable!("static fixture"))
 }
 
 /// Test fixture: the Figure 1a query graph — `u1(A)−u2(B)`, `u2−u4(D)`,
 /// `u3(C)−u4` (profiles match Example 1: profile(u2) = {A, B, D}).
 pub fn paper_query_graph() -> Graph {
-    Graph::from_edges(4, &[0, 1, 2, 3], &[(0, 1), (1, 3), (2, 3)]).unwrap()
+    Graph::from_edges(4, &[0, 1, 2, 3], &[(0, 1), (1, 3), (2, 3)])
+        .unwrap_or_else(|_| unreachable!("static fixture"))
 }
 
 #[cfg(test)]

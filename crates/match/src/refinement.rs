@@ -16,24 +16,50 @@ use neursc_graph::Graph;
 /// Runs up to `max_rounds` refinement passes; returns the number of rounds
 /// actually performed (stops early at a fixed point).
 pub fn global_refinement(q: &Graph, g: &Graph, cs: &mut CandidateSets, max_rounds: usize) -> usize {
+    let mut meter = crate::budget::FilterBudget::UNBOUNDED.meter();
+    let (rounds, exhausted) = global_refinement_metered(q, g, cs, max_rounds, &mut meter);
+    debug_assert!(!exhausted, "unbounded meter cannot trip");
+    rounds
+}
+
+/// [`global_refinement`] charging one step per candidate-pair test to the
+/// supplied meter. Returns `(rounds completed, budget exhausted)`.
+///
+/// Exhaustion here degrades gracefully instead of erroring: refinement only
+/// removes provably-impossible candidates, so stopping at any point leaves
+/// `cs` complete (Definition 2) — merely less tight. A query vertex whose
+/// pass was cut short keeps its pre-round candidate list.
+pub fn global_refinement_metered(
+    q: &Graph,
+    g: &Graph,
+    cs: &mut CandidateSets,
+    max_rounds: usize,
+    meter: &mut crate::budget::WorkMeter,
+) -> (usize, bool) {
     for round in 0..max_rounds {
         let mut changed = false;
         for u in q.vertices() {
-            let survivors: Vec<VertexId> = cs.sets[u as usize]
-                .iter()
-                .copied()
-                .filter(|&v| pair_passes(q, g, cs, u, v))
-                .collect();
+            let mut survivors: Vec<VertexId> = Vec::with_capacity(cs.sets[u as usize].len());
+            for &v in &cs.sets[u as usize] {
+                if meter.charge(1).is_err() {
+                    // Abandon the partial survivor list: the untested tail
+                    // must be retained, so leave CS(u) as-is and stop.
+                    return (round, true);
+                }
+                if pair_passes(q, g, cs, u, v) {
+                    survivors.push(v);
+                }
+            }
             if survivors.len() != cs.sets[u as usize].len() {
                 changed = true;
                 cs.sets[u as usize] = survivors;
             }
         }
         if !changed {
-            return round + 1;
+            return (round + 1, false);
         }
     }
-    max_rounds
+    (max_rounds, false)
 }
 
 /// The semi-perfect-matching test for one candidate pair `(u, v)`.

@@ -132,6 +132,41 @@ pub fn clamp_params(store: &mut ParamStore, params: &[ParamId], lo: f32, hi: f32
     }
 }
 
+/// Global L2 norm of the gradients of the listed parameters. Non-finite
+/// gradient entries make the result non-finite, which callers treat as a
+/// divergence signal.
+pub fn global_grad_norm(store: &ParamStore, params: &[ParamId]) -> f32 {
+    let mut sq = 0.0f32;
+    for &p in params {
+        for &g in store.grad(p).data() {
+            sq += g * g;
+        }
+    }
+    sq.sqrt()
+}
+
+/// Scales the listed gradients so their global L2 norm is at most `max_norm`
+/// (standard global-norm gradient clipping). Returns the pre-clip norm. If
+/// the norm is non-finite the gradients are zeroed — a non-finite gradient
+/// cannot be rescaled into a usable direction, so the step becomes a no-op
+/// and the caller's divergence guard decides what to do next.
+pub fn clip_grad_norm(store: &mut ParamStore, params: &[ParamId], max_norm: f32) -> f32 {
+    let norm = global_grad_norm(store, params);
+    if !norm.is_finite() {
+        for &p in params {
+            store.grad_mut(p).fill(0.0);
+        }
+        return norm;
+    }
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for &p in params {
+            store.grad_mut(p).scale_assign(scale);
+        }
+    }
+    norm
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +237,30 @@ mod tests {
             store.zero_grads();
         }
         assert!(store.value(p).item() < 5.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_large_gradients() {
+        let mut store = ParamStore::new();
+        let p = store.alloc(Tensor::scalar(0.0));
+        store.grad_mut(p).fill(30.0);
+        let pre = clip_grad_norm(&mut store, &[p], 1.0);
+        assert!((pre - 30.0).abs() < 1e-4);
+        assert!((store.grad(p).item() - 1.0).abs() < 1e-5);
+        // Norms already under the cap are untouched.
+        let pre = clip_grad_norm(&mut store, &[p], 5.0);
+        assert!((pre - 1.0).abs() < 1e-5);
+        assert!((store.grad(p).item() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_zeroes_non_finite_gradients() {
+        let mut store = ParamStore::new();
+        let p = store.alloc(Tensor::scalar(0.0));
+        store.grad_mut(p).fill(f32::NAN);
+        let pre = clip_grad_norm(&mut store, &[p], 1.0);
+        assert!(!pre.is_finite());
+        assert_eq!(store.grad(p).item(), 0.0);
     }
 
     #[test]

@@ -46,17 +46,18 @@ impl From<std::io::Error> for SerializeError {
 /// Serializes all parameter values (not gradients) to text.
 pub fn store_to_string(store: &ParamStore) -> String {
     let mut out = String::new();
-    writeln!(out, "neursc-params v1 {}", store.len()).unwrap();
+    // Writes to a String are infallible.
+    let _ = writeln!(out, "neursc-params v1 {}", store.len());
     for id in store.ids() {
         let t = store.value(id);
-        writeln!(out, "tensor {} {}", t.rows(), t.cols()).unwrap();
+        let _ = writeln!(out, "tensor {} {}", t.rows(), t.cols());
         let mut line = String::with_capacity(t.len() * 12);
         for (i, v) in t.data().iter().enumerate() {
             if i > 0 {
                 line.push(' ');
             }
             // `{}` on f32 prints the shortest string that roundtrips.
-            write!(line, "{v}").unwrap();
+            let _ = write!(line, "{v}");
         }
         out.push_str(&line);
         out.push('\n');

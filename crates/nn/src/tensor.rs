@@ -171,6 +171,13 @@ impl Tensor {
         }
     }
 
+    /// Whether any element is NaN or ±∞ — the training-loop divergence
+    /// guard checks parameters and losses with this before committing a
+    /// checkpoint.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
     /// Clamps every element to `[lo, hi]` in place (WGAN weight clipping).
     pub fn clamp_assign(&mut self, lo: f32, hi: f32) {
         debug_assert!(lo <= hi);
@@ -254,6 +261,17 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut t = Tensor::zeros(2, 2);
+        assert!(!t.has_non_finite());
+        t.set(0, 1, f32::NAN);
+        assert!(t.has_non_finite());
+        t.set(0, 1, 0.0);
+        t.set(1, 0, f32::INFINITY);
+        assert!(t.has_non_finite());
+    }
 
     #[test]
     fn construction_and_shape() {

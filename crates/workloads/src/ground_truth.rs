@@ -172,6 +172,49 @@ mod tests {
     }
 
     #[test]
+    fn budget_exhaustion_is_reported_as_none_never_as_a_partial_count() {
+        // A budget that starves the most expensive query but admits the
+        // cheapest: exhausted slots must come back `None` (the partial
+        // lower bound found so far is NOT an exact count), solvable slots
+        // must still match brute force, and `label_queries` must drop
+        // exactly the starved ones while keeping the original order.
+        let g = neursc_graph::generate::erdos_renyi(40, 140, 2, 9);
+        let queries = build_query_set(&g, &QuerySetConfig::new(5, 6, 11));
+        let costs: Vec<u64> = queries
+            .iter()
+            .map(|q| count_embeddings(q, &g, u64::MAX).expansions)
+            .collect();
+        let lo = *costs.iter().min().unwrap();
+        let hi = *costs.iter().max().unwrap();
+        assert!(lo < hi, "need a cost spread to split the budget");
+        let budget = hi - 1; // starves the max-cost query, admits the min
+
+        let counts = count_all(&g, &queries, &no_cache(budget));
+        let mut starved = 0;
+        for ((q, c), cost) in queries.iter().zip(&counts).zip(&costs) {
+            if *cost <= budget {
+                assert_eq!(c.unwrap(), brute_force_count(q, &g));
+            } else {
+                starved += 1;
+                assert!(c.is_none(), "partial count leaked as exact");
+                // The raw result indeed holds a partial lower bound, and
+                // `exact()` refuses to surface it.
+                let partial = count_embeddings(q, &g, budget);
+                assert!(partial.exact().is_none());
+                assert!(partial.count <= brute_force_count(q, &g));
+            }
+        }
+        assert!(starved >= 1);
+
+        let labeled = label_queries(&g, &queries, &no_cache(budget));
+        assert_eq!(labeled.len(), queries.len() - starved);
+        // Order of the survivors matches the input order.
+        let survivor_counts: Vec<u64> = counts.iter().filter_map(|c| *c).collect();
+        let labeled_counts: Vec<u64> = labeled.iter().map(|(_, c)| *c).collect();
+        assert_eq!(survivor_counts, labeled_counts);
+    }
+
+    #[test]
     fn sampled_queries_have_positive_counts() {
         // Induced random-walk queries always occur at least once.
         let g = dataset(DatasetId::Yeast);

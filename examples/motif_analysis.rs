@@ -71,7 +71,7 @@ fn main() {
     );
     let mut ranked: Vec<(String, f64, Option<u64>)> = Vec::new();
     for (name, motif) in motifs(&labels) {
-        let est = model.estimate(&motif, &g);
+        let est = model.estimate(&motif, &g).unwrap();
         let exact = count_embeddings(&motif, &g, 2_000_000_000).exact();
         let qe = exact.map(|c| neursc::core::q_error(est, c as f64));
         println!(

@@ -30,7 +30,7 @@ fn prefix_patterns(q: &Graph, order: &[u32]) -> Vec<Graph> {
 /// Optimizer cost model: the sum of estimated prefix cardinalities (each
 /// prefix's matches are the intermediate results the executor carries).
 fn plan_cost(model: &NeurSc, g: &Graph, prefixes: &[Graph]) -> f64 {
-    prefixes.iter().map(|p| model.estimate(p, g)).sum()
+    prefixes.iter().map(|p| model.estimate(p, g).unwrap()).sum()
 }
 
 fn main() {

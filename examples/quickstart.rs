@@ -62,7 +62,7 @@ fn main() {
     );
     let mut total_q = 0.0;
     for (i, (q, c)) in test.iter().enumerate() {
-        let e = model.estimate(q, &g);
+        let e = model.estimate(q, &g).unwrap();
         let qe = neursc::core::q_error(e, *c as f64);
         total_q += qe;
         println!("{:<8} {:>12.1} {:>12} {:>8.2}", format!("#{i}"), e, c, qe);

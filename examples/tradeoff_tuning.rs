@@ -31,7 +31,7 @@ fn main() {
     // Prepare test queries once (extraction is rate-independent).
     let prepared: Vec<_> = test
         .iter()
-        .map(|(q, c)| (prepare_query(q, &g, &model.config, *c), *c))
+        .map(|(q, c)| (prepare_query(q, &g, &model.config, *c).unwrap(), *c))
         .collect();
     let avg_subs: f64 = prepared
         .iter()

@@ -10,7 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (no unwrap/expect in library code) =="
+# Library code on input-dependent paths must return typed errors, never
+# panic (DESIGN.md, "Failure semantics"). Tests/benches/bins are exempt.
+cargo clippy -p neursc-graph -p neursc-match -p neursc-core --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== fault-injection suite =="
+cargo test -q --test fault_injection
 
 echo "CI OK"

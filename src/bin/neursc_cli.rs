@@ -17,9 +17,9 @@
 //! layout back.
 
 use neursc::core::persist::{load_model, save_model};
-use neursc::core::{NeurSc, NeurScConfig};
+use neursc::core::{NeurSc, NeurScConfig, NeurScError};
 use neursc::graph::io::{load_graph, save_graph};
-use neursc::graph::Graph;
+use neursc::graph::{Graph, GraphError};
 use neursc::matching::count_embeddings;
 use neursc::workloads::datasets::{dataset, DatasetId};
 use neursc::workloads::queries::{build_query_set, QuerySetConfig};
@@ -27,17 +27,110 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Exit codes (documented in USAGE): 0 success, 1 other failure, 2 usage,
+/// 3 input parse error, 4 I/O error, 5 model-file corruption.
+const EXIT_OTHER: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_PARSE: u8 = 3;
+const EXIT_IO: u8 = 4;
+const EXIT_CORRUPT: u8 = 5;
+
+/// A classified CLI failure: what to print and which code to exit with.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn other(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_OTHER,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn parse(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_PARSE,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_IO,
+            message: message.into(),
+        }
+    }
+}
+
+/// Renders an error with its full `source()` chain, skipping links whose
+/// text the parent already embeds (several library `Display` impls inline
+/// their cause).
+fn chain(e: &dyn std::error::Error) -> String {
+    let mut s = e.to_string();
+    let mut src = e.source();
+    while let Some(cause) = src {
+        let m = cause.to_string();
+        if !s.contains(&m) {
+            s.push_str(": ");
+            s.push_str(&m);
+        }
+        src = cause.source();
+    }
+    s
+}
+
+impl From<GraphError> for CliError {
+    fn from(e: GraphError) -> Self {
+        let code = match &e {
+            _ if e.is_parse() => EXIT_PARSE,
+            GraphError::Io { .. } => EXIT_IO,
+            _ => EXIT_OTHER,
+        };
+        CliError {
+            code,
+            message: chain(&e),
+        }
+    }
+}
+
+impl From<NeurScError> for CliError {
+    fn from(e: NeurScError) -> Self {
+        let code = if e.is_corruption() {
+            EXIT_CORRUPT
+        } else if e.is_parse() {
+            EXIT_PARSE
+        } else if e.is_io() {
+            EXIT_IO
+        } else {
+            EXIT_OTHER
+        };
+        CliError {
+            code,
+            message: chain(&e),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let result = match cmd.as_str() {
@@ -51,13 +144,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -76,7 +169,10 @@ USAGE:
 Datasets: Yeast, Human, HPRD, Wordnet, DBLP, EU2005, Youtube (Table 2 presets).
 
 --threads T fans query preparation and per-substructure forwards out over T
-worker threads; results are bit-identical to --threads 1.";
+worker threads; results are bit-identical to --threads 1.
+
+Exit codes: 0 success, 1 other failure, 2 usage, 3 input parse error,
+4 I/O error, 5 model-file corruption.";
 
 type Opts = HashMap<String, String>;
 
@@ -96,35 +192,38 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(out)
 }
 
-fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, CliError> {
     opts.get(key)
         .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing required --{key}"))
+        .ok_or_else(|| CliError::usage(format!("missing required --{key}")))
 }
 
-fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, CliError> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}"))),
     }
 }
 
 /// Applies `--threads` to a model's parallelism config and pushes the
 /// setting down into the nn kernels. Defaults to sequential execution.
-fn apply_threads(model: &mut NeurSc, opts: &Opts) -> Result<(), String> {
+fn apply_threads(model: &mut NeurSc, opts: &Opts) -> Result<(), CliError> {
     let threads: usize = num(opts, "threads", model.config.parallelism.threads)?;
     if threads == 0 {
-        return Err("--threads must be at least 1".into());
+        return Err(CliError::usage("--threads must be at least 1"));
     }
     model.config.parallelism.threads = threads;
     model.config.parallelism.apply_to_kernels();
     Ok(())
 }
 
-fn cmd_generate(opts: &Opts) -> Result<(), String> {
+fn cmd_generate(opts: &Opts) -> Result<(), CliError> {
     let out = PathBuf::from(req(opts, "out")?);
     let g = if let Some(name) = opts.get("dataset") {
-        let id = DatasetId::parse(name).ok_or_else(|| format!("unknown dataset {name}"))?;
+        let id = DatasetId::parse(name)
+            .ok_or_else(|| CliError::usage(format!("unknown dataset {name}")))?;
         dataset(id)
     } else {
         let n: usize = num(opts, "vertices", 1000)?;
@@ -145,7 +244,7 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
             seed,
         )
     };
-    save_graph(&g, &out).map_err(|e| e.to_string())?;
+    save_graph(&g, &out)?;
     println!(
         "wrote {} (|V|={} |E|={} |L|={})",
         out.display(),
@@ -156,14 +255,14 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_queries(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+fn cmd_queries(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(Path::new(req(opts, "data")?))?;
     let size: usize = num(opts, "size", 8)?;
     let count: usize = num(opts, "count", 20)?;
     let seed: u64 = num(opts, "seed", 1)?;
     let budget: u64 = num(opts, "budget", 500_000_000)?;
     let dir = PathBuf::from(req(opts, "out-dir")?);
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::io(format!("{}: {e}", dir.display())))?;
 
     let queries = build_query_set(&g, &QuerySetConfig::new(size, count, seed));
     let mut csv = String::from("file,count\n");
@@ -175,18 +274,19 @@ fn cmd_queries(opts: &Opts) -> Result<(), String> {
             continue;
         };
         let name = format!("q{i}.graph");
-        save_graph(q, &dir.join(&name)).map_err(|e| e.to_string())?;
+        save_graph(q, &dir.join(&name))?;
         csv.push_str(&format!("{name},{c}\n"));
         kept += 1;
     }
-    std::fs::write(dir.join("counts.csv"), csv).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("counts.csv"), csv)
+        .map_err(|e| CliError::io(format!("counts.csv: {e}")))?;
     println!("wrote {kept} labeled queries to {}", dir.display());
     Ok(())
 }
 
-fn cmd_count(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
-    let q = load_graph(Path::new(req(opts, "query")?)).map_err(|e| e.to_string())?;
+fn cmd_count(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(Path::new(req(opts, "data")?))?;
+    let q = load_graph(Path::new(req(opts, "query")?))?;
     let budget: u64 = num(opts, "budget", 2_000_000_000)?;
     let r = count_embeddings(&q, &g, budget);
     match r.exact() {
@@ -196,32 +296,32 @@ fn cmd_count(opts: &Opts) -> Result<(), String> {
                 "budget exhausted after {} expansions (≥ {})",
                 r.expansions, r.count
             );
-            return Err("count exceeds budget".into());
+            return Err(CliError::other("count exceeds budget"));
         }
     }
     Ok(())
 }
 
-fn load_labeled_dir(dir: &Path) -> Result<Vec<(Graph, u64)>, String> {
-    let csv =
-        std::fs::read_to_string(dir.join("counts.csv")).map_err(|e| format!("counts.csv: {e}"))?;
+fn load_labeled_dir(dir: &Path) -> Result<Vec<(Graph, u64)>, CliError> {
+    let csv = std::fs::read_to_string(dir.join("counts.csv"))
+        .map_err(|e| CliError::io(format!("{}: {e}", dir.join("counts.csv").display())))?;
     let mut out = Vec::new();
     for line in csv.lines().skip(1) {
         let (file, count) = line
             .split_once(',')
-            .ok_or_else(|| format!("bad counts.csv line: {line}"))?;
+            .ok_or_else(|| CliError::parse(format!("bad counts.csv line: {line}")))?;
         let c: u64 = count
             .trim()
             .parse()
-            .map_err(|_| format!("bad count: {count}"))?;
-        let q = load_graph(&dir.join(file.trim())).map_err(|e| format!("{file}: {e}"))?;
+            .map_err(|_| CliError::parse(format!("bad count: {count}")))?;
+        let q = load_graph(&dir.join(file.trim()))?;
         out.push((q, c));
     }
     Ok(out)
 }
 
-fn cmd_train(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+fn cmd_train(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(Path::new(req(opts, "data")?))?;
     let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
     let epochs: usize = num(opts, "epochs", 20)?;
     let seed: u64 = num(opts, "seed", 7)?;
@@ -232,24 +332,25 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     cfg.adversarial_epochs = (epochs / 3).max(2);
     let mut model = NeurSc::new(cfg, seed);
     apply_threads(&mut model, opts)?;
-    let report = model.fit(&g, &labeled).map_err(|e| e.to_string())?;
-    save_model(&model, &out).map_err(|e| e.to_string())?;
+    let report = model.fit(&g, &labeled)?;
+    save_model(&model, &out)?;
     println!(
-        "trained on {} queries ({} skipped), final loss {:.3}; wrote {}",
+        "trained on {} queries ({} skipped, {} failed), final loss {:.3}; wrote {}",
         labeled.len(),
         report.skipped_queries,
+        report.failed_queries,
         report.final_loss,
         out.display()
     );
     Ok(())
 }
 
-fn cmd_estimate(opts: &Opts) -> Result<(), String> {
-    let mut model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+fn cmd_estimate(opts: &Opts) -> Result<(), CliError> {
+    let mut model = load_model(Path::new(req(opts, "model")?))?;
     apply_threads(&mut model, opts)?;
-    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
-    let q = load_graph(Path::new(req(opts, "query")?)).map_err(|e| e.to_string())?;
-    let d = model.estimate_detailed(&q, &g);
+    let g = load_graph(Path::new(req(opts, "data")?))?;
+    let q = load_graph(Path::new(req(opts, "query")?))?;
+    let d = model.estimate_detailed(&q, &g)?;
     println!("{:.1}", d.count);
     eprintln!(
         "({} substructures{})",
@@ -263,29 +364,41 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
-    let mut model = load_model(Path::new(req(opts, "model")?)).map_err(|e| e.to_string())?;
+fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
+    let mut model = load_model(Path::new(req(opts, "model")?))?;
     apply_threads(&mut model, opts)?;
-    let g = load_graph(Path::new(req(opts, "data")?)).map_err(|e| e.to_string())?;
+    let g = load_graph(Path::new(req(opts, "data")?))?;
     let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
     if labeled.is_empty() {
-        return Err("no labeled queries found".into());
+        return Err(CliError::other("no labeled queries found"));
     }
     // Batched path: one shared context caches the data-graph profiles and
-    // fans the whole query set out over the configured workers.
+    // fans the whole query set out over the configured workers. Failed
+    // queries are isolated per item: they are reported to stderr and
+    // excluded from aggregation instead of aborting the run.
     let queries: Vec<Graph> = labeled.iter().map(|(q, _)| q.clone()).collect();
     let ctx = neursc::core::GraphContext::new();
     let details = model.estimate_batch(&queries, &g, &ctx);
     let mut errs: Vec<f64> = Vec::new();
-    for ((_, c), d) in labeled.iter().zip(&details) {
-        errs.push(neursc::core::q_error(d.count, *c as f64));
+    let mut failed = 0usize;
+    for (i, ((_, c), d)) in labeled.iter().zip(&details).enumerate() {
+        match d {
+            Ok(d) => errs.push(neursc::core::q_error(d.count, *c as f64)),
+            Err(e) => {
+                failed += 1;
+                eprintln!("q{i}: {}", chain(e));
+            }
+        }
+    }
+    if errs.is_empty() {
+        return Err(CliError::other("every query failed"));
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
     let gmean = (errs.iter().map(|e| e.ln()).sum::<f64>() / errs.len() as f64).exp();
     let max = errs.iter().cloned().fold(0.0f64, f64::max);
     println!(
-        "{} queries: mean q-error {mean:.2}, geometric mean {gmean:.2}, max {max:.2}",
-        labeled.len()
+        "{} queries ({failed} failed): mean q-error {mean:.2}, geometric mean {gmean:.2}, max {max:.2}",
+        errs.len()
     );
     Ok(())
 }

@@ -31,7 +31,7 @@
 //! // Train NeurSC and estimate.
 //! let mut model = NeurSc::new(NeurScConfig::small(), 7);
 //! model.fit(&g, &labeled).unwrap();
-//! let estimate = model.estimate(&labeled[0].0, &g);
+//! let estimate = model.estimate(&labeled[0].0, &g).unwrap();
 //! println!("ĉ = {estimate:.1} (truth {})", labeled[0].1);
 //! ```
 

@@ -95,7 +95,7 @@ fn trained_neursc_beats_every_untrained_baseline() {
     model.fit(&g, train).unwrap();
     let neursc_errs: Vec<f64> = test
         .iter()
-        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g), *c as f64))
+        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g).unwrap(), *c as f64))
         .collect();
     let neursc_err = gmean_q_error(&neursc_errs);
 

@@ -120,14 +120,134 @@ fn cli_full_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Runs the CLI expecting failure; returns `(exit_code, stderr)`.
+fn run_err(mut cmd: Command) -> (i32, String) {
+    let out = cmd.output().expect("spawn cli");
+    assert!(
+        !out.status.success(),
+        "cli unexpectedly succeeded\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn cli_rejects_bad_usage() {
-    let out = cli().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
-    let out = cli().args(["count", "--data"]).output().unwrap();
-    assert!(!out.status.success());
-    let out = cli().output().unwrap();
-    assert!(!out.status.success());
+    // Usage errors all exit with code 2.
+    let (code, _) = run_err({
+        let mut c = cli();
+        c.arg("frobnicate");
+        c
+    });
+    assert_eq!(code, 2);
+    let (code, _) = run_err({
+        let mut c = cli();
+        c.args(["count", "--data"]);
+        c
+    });
+    assert_eq!(code, 2);
+    let (code, _) = run_err(cli());
+    assert_eq!(code, 2);
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["count", "--query", "x.graph"]); // missing required --data
+        c
+    });
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--data"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_exit_codes_distinguish_parse_io_and_corruption() {
+    let dir = std::env::temp_dir().join("neursc_cli_errcode_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 4 = I/O: the data file does not exist. The message names the path.
+    let missing = dir.join("nope.graph");
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["count", "--data"])
+            .arg(&missing)
+            .args(["--query"])
+            .arg(&missing);
+        c
+    });
+    assert_eq!(code, 4, "stderr: {stderr}");
+    assert!(stderr.starts_with("error: "), "stderr: {stderr}");
+    assert!(stderr.contains("nope.graph"), "stderr: {stderr}");
+
+    // 3 = parse: a syntactically broken graph file, with the line number.
+    let broken = dir.join("broken.graph");
+    std::fs::write(&broken, "t 2 1\nv 0 0 1\nv 0 0 1\ne 0 1\n").unwrap(); // duplicate v 0
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["count", "--data"])
+            .arg(&broken)
+            .args(["--query"])
+            .arg(&broken);
+        c
+    });
+    assert_eq!(code, 3, "stderr: {stderr}");
+    assert!(stderr.starts_with("error: "), "stderr: {stderr}");
+
+    // 5 = corruption: a model file whose checksum no longer matches.
+    let data = dir.join("data.graph");
+    run_ok({
+        let mut c = cli();
+        c.args([
+            "generate",
+            "--vertices",
+            "60",
+            "--degree",
+            "4",
+            "--labels",
+            "3",
+            "--out",
+        ])
+        .arg(&data);
+        c
+    });
+    let qdir = dir.join("qs");
+    run_ok({
+        let mut c = cli();
+        c.args(["queries", "--data"])
+            .arg(&data)
+            .args(["--size", "3", "--count", "4", "--out-dir"])
+            .arg(&qdir);
+        c
+    });
+    let model = dir.join("model.txt");
+    run_ok({
+        let mut c = cli();
+        c.args(["train", "--data"])
+            .arg(&data)
+            .args(["--queries"])
+            .arg(&qdir)
+            .args(["--epochs", "2", "--out"])
+            .arg(&model);
+        c
+    });
+    // Truncate the model file: the header checksum must catch it.
+    let text = std::fs::read_to_string(&model).unwrap();
+    std::fs::write(&model, &text[..text.len() - 25]).unwrap();
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["estimate", "--model"])
+            .arg(&model)
+            .args(["--data"])
+            .arg(&data)
+            .args(["--query"])
+            .arg(qdir.join("q0.graph"));
+        c
+    });
+    assert_eq!(code, 5, "stderr: {stderr}");
+    assert!(stderr.contains("model.txt"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

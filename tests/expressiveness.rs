@@ -14,7 +14,7 @@ use neursc::prelude::*;
 /// embedding readout through the whole network.
 fn west_signature(model: &NeurSc, g: &Graph) -> f64 {
     // Use the graph as both query and data so the network sees it fully.
-    let pq = prepare_query(g, g, &model.config, 0);
+    let pq = prepare_query(g, g, &model.config, 0).unwrap();
     model.estimate_prepared(&pq).count
 }
 

@@ -51,7 +51,7 @@ fn full_pipeline_trains_and_beats_constant_baseline() {
 
     let model_err: f64 = test
         .iter()
-        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g), *c as f64))
+        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g).unwrap(), *c as f64))
         .sum::<f64>()
         / test.len() as f64;
     let const_err: f64 = test
@@ -77,7 +77,10 @@ fn persistence_roundtrip_preserves_trained_estimates() {
     save_model(&model, &path).unwrap();
     let restored = load_model(&path).unwrap();
     for (q, _) in &labeled[20..25] {
-        assert_eq!(model.estimate(q, &g), restored.estimate(q, &g));
+        assert_eq!(
+            model.estimate(q, &g).unwrap(),
+            restored.estimate(q, &g).unwrap()
+        );
     }
     std::fs::remove_file(&path).ok();
 }
@@ -88,7 +91,7 @@ fn extraction_estimates_zero_for_impossible_queries() {
     // Label 99 does not exist in the data graph.
     let q = Graph::from_edges(3, &[0, 99, 0], &[(0, 1), (1, 2)]).unwrap();
     let model = NeurSc::new(fast_config(), 4);
-    let d = model.estimate_detailed(&q, &g);
+    let d = model.estimate_detailed(&q, &g).unwrap();
     assert_eq!(d.count, 0.0);
     assert!(d.trivially_zero);
     // The exact counter agrees.
@@ -111,7 +114,7 @@ fn all_variants_and_metrics_run_end_to_end() {
             cfg.adversarial_epochs = 1;
             let mut model = NeurSc::new(cfg, 5);
             model.fit(&g, train).unwrap();
-            let e = model.estimate(&train[0].0, &g);
+            let e = model.estimate(&train[0].0, &g).unwrap();
             assert!(
                 e.is_finite() && e >= 0.0,
                 "variant {variant:?} metric {metric:?} produced {e}"
@@ -126,10 +129,10 @@ fn sampled_estimation_is_consistent_with_full_estimation() {
     let mut model = NeurSc::new(fast_config(), 6);
     model.fit(&g, &labeled[..16]).unwrap();
     let q = &labeled[16].0;
-    let full = model.estimate(q, &g);
+    let full = model.estimate(q, &g).unwrap();
     // r_s = 1.0 must agree exactly with the plain estimate.
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let sampled = model.estimate_sampled(q, &g, 1.0, &mut rng);
+    let sampled = model.estimate_sampled(q, &g, 1.0, &mut rng).unwrap();
     assert!((full - sampled).abs() <= 1e-9 * full.abs().max(1.0));
 }
 
@@ -164,7 +167,7 @@ fn neursc_trains_under_homomorphism_semantics() {
     model.fit(&g, train).unwrap();
     let mean_q: f64 = test
         .iter()
-        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g), *c as f64))
+        .map(|(q, c)| neursc::core::q_error(model.estimate(q, &g).unwrap(), *c as f64))
         .sum::<f64>()
         / test.len() as f64;
     let const_q: f64 = test
