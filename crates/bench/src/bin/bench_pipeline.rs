@@ -16,7 +16,7 @@
 //! machine thread counts above 1 cannot speed anything up (see
 //! KNOWN_ISSUES.md); the determinism checksum is the portable claim.
 
-use neursc_core::{GraphContext, NeurSc, NeurScConfig, Parallelism};
+use neursc_core::{GraphContext, NeurSc, NeurScConfig, ObsSink, Parallelism, Recorder};
 use neursc_graph::generate::{generate, DegreeModel, GraphSpec};
 use neursc_graph::sample::{sample_query, QuerySampler};
 use neursc_graph::Graph;
@@ -72,20 +72,37 @@ fn main() {
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
 
-    // --- 1. Cache effect (threads = 1) -----------------------------------
+    // --- 1. Cache effect (threads = 1), instrumented ----------------------
+    // A Recorder on the context captures per-stage metrics for the report;
+    // its overhead on two queries is noise next to profile construction.
     let seq = make_model(1);
     seq.config.parallelism.apply_to_kernels();
-    let ctx = GraphContext::new();
+    let rec = std::sync::Arc::new(Recorder::new());
+    let sink: std::sync::Arc<dyn ObsSink> = rec.clone();
+    let ctx = GraphContext::with_obs(sink);
     let t0 = Instant::now();
-    let first = seq.estimate_with(&queries[0], &g, &ctx).unwrap();
+    let first_d = seq.estimate_detailed_with(&queries[0], &g, &ctx).unwrap();
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let second = seq.estimate_with(&queries[1], &g, &ctx).unwrap();
+    let second_d = seq.estimate_detailed_with(&queries[1], &g, &ctx).unwrap();
     let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (first, second) = (first_d.count, second_d.count);
     println!(
         "cache: first query {cold_ms:.2} ms (computes profiles), second {warm_ms:.2} ms \
          (cached) — {:.1}x",
         cold_ms / warm_ms.max(1e-9)
+    );
+    let snap = rec.metrics().snapshot();
+    assert_eq!(snap.counter("cache.profile.miss"), 1);
+    assert_eq!(snap.counter("cache.profile.hit"), 1);
+    println!(
+        "stages (2nd query): local_prune {} µs, refine {} µs, extract {} µs, \
+         featurize {} µs, gnn {} µs",
+        second_d.report.local_prune_ns / 1_000,
+        second_d.report.refine_ns / 1_000,
+        second_d.report.extract_ns / 1_000,
+        second_d.report.featurize_ns / 1_000,
+        second_d.report.gnn_ns / 1_000,
     );
 
     // --- 2. Thread scaling over the batch --------------------------------
@@ -135,6 +152,35 @@ fn main() {
     );
     let _ = writeln!(json, "  \"first_estimate\": {first:.6},");
     let _ = writeln!(json, "  \"second_estimate\": {second:.6},");
+    // Per-stage wall time, from the observability layer: the cold query's
+    // profile build comes from the metrics histogram, the warm query's
+    // stage split from its PipelineReport.
+    let profile_build_ns = snap
+        .histograms
+        .get("filter.profile_build.ns")
+        .map_or(0, |h| h.sum);
+    json.push_str("  \"stages\": {\n");
+    let _ = writeln!(json, "    \"profile_build_ns\": {profile_build_ns},");
+    let _ = writeln!(
+        json,
+        "    \"feature_build_ns\": {},",
+        snap.histograms
+            .get("gnn.feature_build.ns")
+            .map_or(0, |h| h.sum)
+    );
+    let r = &second_d.report;
+    let _ = writeln!(json, "    \"warm_local_prune_ns\": {},", r.local_prune_ns);
+    let _ = writeln!(json, "    \"warm_refine_ns\": {},", r.refine_ns);
+    let _ = writeln!(json, "    \"warm_extract_ns\": {},", r.extract_ns);
+    let _ = writeln!(json, "    \"warm_featurize_ns\": {},", r.featurize_ns);
+    let _ = writeln!(json, "    \"warm_gnn_ns\": {}", r.gnn_ns);
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"profile_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        snap.counter("cache.profile.hit"),
+        snap.counter("cache.profile.miss")
+    );
     json.push_str("  \"batch_scaling\": [\n");
     for (i, (t, ms)) in scaling.iter().enumerate() {
         let speedup = scaling[0].1 / ms.max(1e-9);

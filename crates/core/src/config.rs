@@ -38,6 +38,17 @@ pub enum Variant {
 /// bit-identical at any `threads` value (work is reduced in index order and
 /// every parallel kernel keeps per-row operation order fixed — see
 /// DESIGN.md "Concurrency & caching architecture").
+///
+/// ```
+/// use neursc_core::Parallelism;
+/// let p = Parallelism {
+///     threads: 4,
+///     ..Parallelism::default()
+/// };
+/// p.apply_to_kernels(); // push the setting into the global nn kernels
+/// assert_eq!(p.threads, 4);
+/// # Parallelism::default().apply_to_kernels();
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
     /// Worker threads for query-batch and per-substructure fan-out, and for
@@ -80,6 +91,21 @@ impl Parallelism {
 /// semantics"). These are *runtime* knobs of the serving process, not part
 /// of the learned model, so they are deliberately **not** persisted in
 /// model files — a loaded model gets the defaults.
+///
+/// A blown step budget surfaces as the typed
+/// [`NeurScError::Budget`](crate::NeurScError) (CLI exit code 1) rather
+/// than a panic, and bumps the `query.error.budget` counter when a sink is
+/// attached ([`crate::GraphContext::with_obs`]).
+///
+/// ```
+/// use neursc_core::ResourceBudget;
+/// let b = ResourceBudget {
+///     max_filter_steps: Some(10_000),
+///     ..ResourceBudget::default()
+/// };
+/// assert_eq!(b.max_query_vertices, Some(512)); // default cap survives
+/// assert!(ResourceBudget::UNLIMITED.max_filter_steps.is_none());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceBudget {
     /// Reject queries with more vertices than this before any work is done

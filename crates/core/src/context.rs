@@ -13,13 +13,23 @@
 //! The context is `Sync`; the batched entry points
 //! ([`crate::NeurSc::estimate_batch`], [`crate::NeurSc::fit`]) share one
 //! across their worker threads.
+//!
+//! It also carries the two cross-cutting plumbing handles of the pipeline:
+//! a [`FaultPlan`] (deterministic fault injection, PR 2) and an
+//! [`ObsSink`] (structured tracing + metrics, see [`crate::obs`]) — both
+//! inert by default.
 
 use crate::faults::FaultPlan;
-use neursc_gnn::FeatureCache;
+use crate::obs::{self, ObsSink};
+use neursc_gnn::{FeatureCache, FeatureConfig};
+use neursc_graph::Graph;
+use neursc_match::profile::Profile;
 use neursc_match::ProfileCache;
+use neursc_nn::Tensor;
+use std::sync::Arc;
 
 /// Shared caches for estimation/training against one or more data graphs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GraphContext {
     /// Data-graph vertex-profile cache (local pruning).
     pub profiles: ProfileCache,
@@ -28,6 +38,20 @@ pub struct GraphContext {
     /// Fault-injection plan consulted by the batched entry points (empty by
     /// default — see [`crate::faults`]).
     pub faults: FaultPlan,
+    /// Observability sink spans and metrics are delivered to (no-op by
+    /// default — see [`crate::obs`]).
+    pub obs: Arc<dyn ObsSink>,
+}
+
+impl Default for GraphContext {
+    fn default() -> Self {
+        GraphContext {
+            profiles: ProfileCache::new(),
+            features: FeatureCache::new(),
+            faults: FaultPlan::default(),
+            obs: Arc::clone(obs::noop()),
+        }
+    }
 }
 
 impl GraphContext {
@@ -42,6 +66,52 @@ impl GraphContext {
             faults,
             ..Self::default()
         }
+    }
+
+    /// A context delivering spans and metrics to `sink` (typically an
+    /// [`crate::obs::Recorder`]).
+    ///
+    /// ```
+    /// use neursc_core::{obs::Recorder, GraphContext};
+    /// use std::sync::Arc;
+    ///
+    /// let rec = Arc::new(Recorder::new());
+    /// let ctx = GraphContext::with_obs(rec.clone());
+    /// assert!(ctx.obs.enabled());
+    /// ```
+    pub fn with_obs(sink: Arc<dyn ObsSink>) -> Self {
+        GraphContext {
+            obs: sink,
+            ..Self::default()
+        }
+    }
+
+    /// The radius-`r` profiles of `g` from the cache, with hit/miss
+    /// counters (`cache.profile.hit`/`.miss`) and, on a miss, a
+    /// `filter.profile_build` span delivered to the sink.
+    pub fn profiles_for(&self, g: &Graph, r: u32) -> (Arc<Vec<Profile>>, bool) {
+        let (profiles, hit, build_ns) = self.profiles.profiles_traced(g, r);
+        if hit {
+            self.obs.counter_add("cache.profile.hit", 1);
+        } else {
+            self.obs.counter_add("cache.profile.miss", 1);
+            self.obs.observe("filter.profile_build.ns", build_ns);
+            obs::span_with_ns("filter.profile_build", build_ns);
+        }
+        (profiles, hit)
+    }
+
+    /// The Eq. 1 feature matrix of `g` from the cache, with hit/miss
+    /// counters (`cache.feature.hit`/`.miss`) delivered to the sink.
+    pub fn features_for(&self, g: &Graph, cfg: &FeatureConfig) -> (Arc<Tensor>, bool) {
+        let (features, hit, build_ns) = self.features.features_traced(g, cfg);
+        if hit {
+            self.obs.counter_add("cache.feature.hit", 1);
+        } else {
+            self.obs.counter_add("cache.feature.miss", 1);
+            self.obs.observe("gnn.feature_build.ns", build_ns);
+        }
+        (features, hit)
     }
 
     /// Drops all cached entries from both caches.

@@ -7,12 +7,13 @@
 
 use crate::config::NeurScConfig;
 use crate::context::GraphContext;
+use crate::obs::{self, PipelineReport, Span};
 use neursc_graph::induced::{connected_components, induced_subgraph};
 use neursc_graph::types::VertexId;
 use neursc_graph::Graph;
 use neursc_match::{
-    filter_candidates, filter_candidates_budgeted, filter_candidates_with, CandidateSets,
-    FilterBudget, FilterError,
+    filter_candidates_budgeted_profiled, filter_candidates_timed, CandidateSets, FilterBudget,
+    FilterError, StageBreakdown,
 };
 
 /// One connected candidate substructure with local candidate sets.
@@ -54,6 +55,9 @@ pub struct Extraction {
     /// candidate sets are sound but looser than an unbudgeted run's, so the
     /// substructures may be larger. Always `false` on unbudgeted paths.
     pub degraded: bool,
+    /// Per-stage wall timings of this extraction (wall-clock fields — not
+    /// covered by any determinism guarantee; see [`crate::obs`]).
+    pub report: PipelineReport,
 }
 
 impl Extraction {
@@ -68,7 +72,13 @@ impl Extraction {
 
 /// Runs filtering + extraction for `(q, G)` under `cfg`.
 pub fn extract_substructures(q: &Graph, g: &Graph, cfg: &NeurScConfig) -> Extraction {
-    extract_from_candidates(q, g, cfg, filter_candidates(q, g, &cfg.filter), false)
+    let t0 = std::time::Instant::now();
+    let profiles = neursc_match::profile::all_profiles(g, cfg.filter.profile_radius);
+    let profile_build_ns = t0.elapsed().as_nanos() as u64;
+    let (candidates, stages) = filter_candidates_timed(q, g, &cfg.filter, &profiles);
+    let mut report = report_from_stages(&stages);
+    report.profile_build_ns = profile_build_ns;
+    extract_from_candidates(q, g, cfg, candidates, false, report)
 }
 
 /// [`extract_substructures`] with the data-graph profiles served from a
@@ -80,9 +90,16 @@ pub fn extract_substructures_with(
     cfg: &NeurScConfig,
     ctx: &GraphContext,
 ) -> Extraction {
-    let profiles = ctx.profiles.profiles(g, cfg.filter.profile_radius);
-    let candidates = filter_candidates_with(q, g, &cfg.filter, &profiles);
-    extract_from_candidates(q, g, cfg, candidates, false)
+    let (profiles, hit) = ctx.profiles_for(g, cfg.filter.profile_radius);
+    let (candidates, stages) = {
+        let _sp = Span::enter("filter.candidates");
+        let out = filter_candidates_timed(q, g, &cfg.filter, &profiles);
+        emit_stage_spans(&out.1);
+        out
+    };
+    let mut report = report_from_stages(&stages);
+    report.profile_cache_hit = hit;
+    extract_from_candidates(q, g, cfg, candidates, false, report)
 }
 
 /// [`extract_substructures_with`] under a [`FilterBudget`].
@@ -98,15 +115,39 @@ pub fn extract_substructures_budgeted(
     ctx: &GraphContext,
     budget: &FilterBudget,
 ) -> Result<Extraction, FilterError> {
-    let profiles = ctx.profiles.profiles(g, cfg.filter.profile_radius);
-    let out = filter_candidates_budgeted(q, g, &cfg.filter, &profiles, budget)?;
+    let (profiles, hit) = ctx.profiles_for(g, cfg.filter.profile_radius);
+    let (out, stages) = {
+        let _sp = Span::enter("filter.candidates");
+        let r = filter_candidates_budgeted_profiled(q, g, &cfg.filter, &profiles, budget)?;
+        emit_stage_spans(&r.1);
+        r
+    };
+    let mut report = report_from_stages(&stages);
+    report.profile_cache_hit = hit;
     Ok(extract_from_candidates(
         q,
         g,
         cfg,
         out.candidates,
         out.degraded,
+        report,
     ))
+}
+
+fn report_from_stages(stages: &StageBreakdown) -> PipelineReport {
+    PipelineReport {
+        local_prune_ns: stages.local_prune_ns,
+        refine_ns: stages.refine_ns,
+        filter_steps: stages.steps,
+        ..PipelineReport::default()
+    }
+}
+
+/// Converts the filter crate's plain-data timings into child spans of the
+/// currently-open `filter.candidates` span.
+fn emit_stage_spans(stages: &StageBreakdown) {
+    obs::span_with_ns("filter.local_prune", stages.local_prune_ns);
+    obs::span_with_ns("filter.refine", stages.refine_ns);
 }
 
 fn extract_from_candidates(
@@ -115,13 +156,17 @@ fn extract_from_candidates(
     cfg: &NeurScConfig,
     candidates: CandidateSets,
     degraded: bool,
+    mut report: PipelineReport,
 ) -> Extraction {
+    let _sp = Span::enter("extract.components");
+    let t0 = std::time::Instant::now();
     if candidates.is_trivially_zero() {
         return Extraction {
             candidates,
             substructures: Vec::new(),
             trivially_zero: true,
             degraded,
+            report,
         };
     }
     let mut union = Vec::new();
@@ -162,11 +207,13 @@ fn extract_from_candidates(
         }
         substructures.push(sub);
     }
+    report.extract_ns = t0.elapsed().as_nanos() as u64;
     Extraction {
         candidates,
         substructures,
         trivially_zero: false,
         degraded,
+        report,
     }
 }
 

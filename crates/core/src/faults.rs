@@ -16,6 +16,14 @@
 use std::collections::HashSet;
 
 /// Which batch items to poison, and how.
+///
+/// ```
+/// use neursc_core::{FaultPlan, GraphContext};
+/// let ctx = GraphContext::with_faults(FaultPlan::new().starve_budget_on(2));
+/// assert!(ctx.faults.starved(2));
+/// assert!(!ctx.faults.starved(0));
+/// assert!(!ctx.faults.is_empty());
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     panic_items: HashSet<usize>,

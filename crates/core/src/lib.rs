@@ -61,6 +61,7 @@ pub mod extraction;
 pub mod faults;
 pub mod loss;
 pub mod model;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod sampling;
@@ -77,5 +78,6 @@ pub use extraction::{
 pub use faults::FaultPlan;
 pub use loss::q_error;
 pub use model::{EstimateDetail, NeurSc};
+pub use obs::{MetricsSnapshot, NoopSink, ObsSink, PipelineReport, Recorder, Span, TraceTime};
 pub use parallel::{parallel_map_caught, parallel_map_indexed, ItemPanic};
 pub use train::{validate_query, PreparedQuery, TrainReport};

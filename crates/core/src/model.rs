@@ -5,9 +5,10 @@ use crate::context::GraphContext;
 use crate::discriminator::Discriminator;
 use crate::error::NeurScError;
 use crate::loss::q_error;
+use crate::obs::{self, ObsSink, PipelineReport, Span};
 use crate::parallel::parallel_map_caught;
 use crate::train::{
-    prepare_query, prepare_query_budgeted, prepare_query_with, run_training, PreparedQuery,
+    prepare_query, prepare_query_budgeted, prepare_query_with, run_training_obs, PreparedQuery,
     TrainReport,
 };
 use crate::west::WEst;
@@ -16,9 +17,10 @@ use neursc_match::FilterBudget;
 use neursc_nn::{ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Detailed estimation output (Algorithm 1).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EstimateDetail {
     /// The estimated subgraph count `ĉ(q)`.
     pub count: f64,
@@ -29,6 +31,46 @@ pub struct EstimateDetail {
     /// Whether a filtering budget forced degraded (sound-but-looser)
     /// candidate sets for this query.
     pub degraded: bool,
+    /// Per-stage wall timings of this estimate (wall clock — **excluded
+    /// from equality**; see [`crate::obs`]).
+    pub report: PipelineReport,
+}
+
+/// Equality deliberately ignores `report`: nanosecond timings differ run to
+/// run, while the estimate itself is bit-reproducible for fixed inputs.
+impl PartialEq for EstimateDetail {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.n_substructures == other.n_substructures
+            && self.trivially_zero == other.trivially_zero
+            && self.degraded == other.degraded
+    }
+}
+
+/// Counter name for a query-level error outcome.
+fn outcome_counter(e: &NeurScError) -> &'static str {
+    match e {
+        NeurScError::Budget { .. } => "query.error.budget",
+        NeurScError::InvalidQuery { .. } => "query.error.invalid_query",
+        NeurScError::Panicked { .. } => "query.panicked",
+        _ => "query.error.other",
+    }
+}
+
+/// Bumps the per-query outcome counters for one finished slot.
+fn count_outcome(sink: &dyn ObsSink, r: &Result<EstimateDetail, NeurScError>) {
+    match r {
+        Ok(d) => {
+            sink.counter_add("query.ok", 1);
+            if d.degraded {
+                sink.counter_add("query.degraded", 1);
+            }
+            if d.trivially_zero {
+                sink.counter_add("query.trivially_zero", 1);
+            }
+        }
+        Err(e) => sink.counter_add(outcome_counter(e), 1),
+    }
 }
 
 /// A trained (or trainable) NeurSC estimator.
@@ -81,25 +123,39 @@ impl NeurSc {
     /// `config.fail_on_divergence` is set (the model is still rolled back to
     /// its best finite checkpoint either way).
     pub fn fit(&mut self, g: &Graph, train: &[(Graph, u64)]) -> Result<TrainReport, NeurScError> {
+        self.fit_with(g, train, &GraphContext::new())
+    }
+
+    /// [`NeurSc::fit`] against a caller-provided [`GraphContext`] — the
+    /// entry point for sharing caches across runs and for observability
+    /// ([`GraphContext::with_obs`]): preparation and training emit spans
+    /// and metrics to the context's sink. Identical training behavior.
+    pub fn fit_with(
+        &mut self,
+        g: &Graph,
+        train: &[(Graph, u64)],
+        ctx: &GraphContext,
+    ) -> Result<TrainReport, NeurScError> {
         if train.is_empty() {
             return Err(NeurScError::NoTrainingData);
         }
-        let ctx = GraphContext::new();
-        let mut prepared = Vec::with_capacity(train.len());
-        let mut failed = 0usize;
-        for r in self.prepare_batch(g, train, &ctx) {
-            match r {
-                Ok(pq) => prepared.push(pq),
-                Err(_) => failed += 1,
+        obs::scope(&ctx.obs, obs::lane::ROOT, || {
+            let mut prepared = Vec::with_capacity(train.len());
+            let mut failed = 0usize;
+            for r in self.prepare_batch(g, train, ctx) {
+                match r {
+                    Ok(pq) => prepared.push(pq),
+                    Err(_) => failed += 1,
+                }
             }
-        }
-        if prepared.is_empty() {
-            return Err(NeurScError::NoTrainingData);
-        }
-        let mut report = run_training(self, &prepared);
-        report.failed_queries = failed;
-        self.check_divergence(&report)?;
-        Ok(report)
+            if prepared.is_empty() {
+                return Err(NeurScError::NoTrainingData);
+            }
+            let mut report = run_training_obs(self, &prepared, &ctx.obs);
+            report.failed_queries = failed;
+            self.check_divergence(&report)?;
+            Ok(report)
+        })
     }
 
     /// Prepares a labeled query batch in parallel against a shared context.
@@ -112,35 +168,74 @@ impl NeurSc {
         batch: &[(Graph, u64)],
         ctx: &GraphContext,
     ) -> Vec<Result<PreparedQuery, NeurScError>> {
-        // Warm the per-(G, r) cache once so workers don't race to compute
-        // the same profiles (the cache tolerates that, but the duplicated
-        // work would waste exactly the time the cache exists to save).
-        if !batch.is_empty() {
-            if self.config.uses_extraction() {
-                let _ = ctx.profiles.profiles(g, self.config.filter.profile_radius);
-            } else {
-                let _ = ctx.features.features(g, &self.config.features);
-            }
+        obs::scope(&ctx.obs, obs::lane::ROOT, || {
+            self.warm_caches(batch.is_empty(), g, ctx);
+            let caught = parallel_map_caught(batch.len(), self.config.parallelism.threads, |i| {
+                obs::scope(&ctx.obs, obs::lane::item(i), || {
+                    let mut sp = Span::enter("pipeline.query");
+                    let r = {
+                        ctx.faults.trip_panic(i);
+                        let (q, c) = &batch[i];
+                        if ctx.faults.starved(i) {
+                            prepare_query_budgeted(
+                                q,
+                                g,
+                                &self.config,
+                                *c,
+                                ctx,
+                                &FilterBudget::steps(0),
+                            )
+                        } else {
+                            prepare_query_with(q, g, &self.config, *c, ctx)
+                        }
+                    };
+                    if let Err(e) = &r {
+                        sp.set_tag(obs::error_tag(e));
+                    }
+                    r
+                })
+            });
+            caught
+                .into_iter()
+                .map(|r| {
+                    let slot = match r {
+                        Ok(inner) => inner,
+                        Err(p) => Err(NeurScError::Panicked {
+                            item: p.index,
+                            message: p.message,
+                        }),
+                    };
+                    match &slot {
+                        Ok(pq) => {
+                            ctx.obs.counter_add("query.ok", 1);
+                            if pq.degraded {
+                                ctx.obs.counter_add("query.degraded", 1);
+                            }
+                            if pq.trivially_zero {
+                                ctx.obs.counter_add("query.trivially_zero", 1);
+                            }
+                        }
+                        Err(e) => ctx.obs.counter_add(outcome_counter(e), 1),
+                    }
+                    slot
+                })
+                .collect()
+        })
+    }
+
+    /// Warms the per-`(G, r)` cache once so workers don't race to compute
+    /// the same profiles (the cache tolerates that, but the duplicated work
+    /// would waste exactly the time the cache exists to save).
+    fn warm_caches(&self, batch_empty: bool, g_for: &Graph, ctx: &GraphContext) {
+        if batch_empty {
+            return;
         }
-        let caught = parallel_map_caught(batch.len(), self.config.parallelism.threads, |i| {
-            ctx.faults.trip_panic(i);
-            let (q, c) = &batch[i];
-            if ctx.faults.starved(i) {
-                prepare_query_budgeted(q, g, &self.config, *c, ctx, &FilterBudget::steps(0))
-            } else {
-                prepare_query_with(q, g, &self.config, *c, ctx)
-            }
-        });
-        caught
-            .into_iter()
-            .map(|r| match r {
-                Ok(inner) => inner,
-                Err(p) => Err(NeurScError::Panicked {
-                    item: p.index,
-                    message: p.message,
-                }),
-            })
-            .collect()
+        let _sp = Span::enter("pipeline.warmup");
+        if self.config.uses_extraction() {
+            let _ = ctx.profiles_for(g_for, self.config.filter.profile_radius);
+        } else {
+            let _ = ctx.features_for(g_for, &self.config.features);
+        }
     }
 
     /// Trains on queries that are already prepared (lets benchmark
@@ -149,7 +244,7 @@ impl NeurSc {
         if prepared.is_empty() {
             return Err(NeurScError::NoTrainingData);
         }
-        let report = run_training(self, prepared);
+        let report = crate::train::run_training(self, prepared);
         self.check_divergence(&report)?;
         Ok(report)
     }
@@ -178,6 +273,30 @@ impl NeurSc {
         Ok(self.estimate_prepared(&pq))
     }
 
+    /// [`NeurSc::estimate_detailed`] against a caller-provided
+    /// [`GraphContext`]: precomputations come from the shared caches and,
+    /// when the context carries a sink ([`GraphContext::with_obs`]), the
+    /// run emits `pipeline.query`/`filter.*`/`extract.*`/`gnn.*` spans and
+    /// per-query outcome counters. Identical value.
+    pub fn estimate_detailed_with(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        ctx: &GraphContext,
+    ) -> Result<EstimateDetail, NeurScError> {
+        obs::scope(&ctx.obs, obs::lane::ROOT, || {
+            let mut sp = Span::enter("pipeline.query");
+            let r = prepare_query_with(q, g, &self.config, 0, ctx).map(|pq| {
+                self.estimate_prepared_obs(&pq, self.config.parallelism.threads, &ctx.obs, true)
+            });
+            if let Err(e) = &r {
+                sp.set_tag(obs::error_tag(e));
+            }
+            count_outcome(ctx.obs.as_ref(), &r);
+            r
+        })
+    }
+
     /// [`NeurSc::estimate`] with data-graph precomputations served from a
     /// shared [`GraphContext`] — the single-query entry point of the cached
     /// pipeline. Identical value; repeated queries against one `G` skip the
@@ -188,8 +307,7 @@ impl NeurSc {
         g: &Graph,
         ctx: &GraphContext,
     ) -> Result<f64, NeurScError> {
-        let pq = prepare_query_with(q, g, &self.config, 0, ctx)?;
-        Ok(self.estimate_prepared(&pq).count)
+        Ok(self.estimate_detailed_with(q, g, ctx)?.count)
     }
 
     /// Estimation over a prepared query. Per-substructure WEst forwards are
@@ -198,40 +316,64 @@ impl NeurSc {
     /// counts are reduced in substructure order, making the sum — and hence
     /// `ĉ(q)` — bit-identical at any thread count.
     pub fn estimate_prepared(&self, pq: &PreparedQuery) -> EstimateDetail {
-        self.estimate_prepared_threads(pq, self.config.parallelism.threads)
+        self.estimate_prepared_obs(pq, self.config.parallelism.threads, obs::noop(), true)
     }
 
-    /// [`NeurSc::estimate_prepared`] with an explicit thread count — used
-    /// by [`NeurSc::estimate_batch`] to keep substructure fan-out
-    /// sequential inside already-parallel per-query workers.
-    fn estimate_prepared_threads(&self, pq: &PreparedQuery, threads: usize) -> EstimateDetail {
+    /// [`NeurSc::estimate_prepared`] with an explicit thread count and
+    /// sink. `sub_lanes` routes each substructure's `gnn.*` spans onto its
+    /// own deterministic lane ([`obs::lane::sub`]); the batched pipeline
+    /// turns that off so substructure spans stay on their query's lane.
+    fn estimate_prepared_obs(
+        &self,
+        pq: &PreparedQuery,
+        threads: usize,
+        sink: &Arc<dyn ObsSink>,
+        sub_lanes: bool,
+    ) -> EstimateDetail {
         if pq.trivially_zero || pq.subs.is_empty() {
             return EstimateDetail {
                 count: 0.0,
                 n_substructures: 0,
                 trivially_zero: pq.trivially_zero,
                 degraded: pq.degraded,
+                report: pq.report.clone(),
             };
         }
         let logs = crate::parallel::parallel_map_indexed(pq.subs.len(), threads, |i| {
-            let sub = &pq.subs[i];
-            let mut tape = Tape::new();
-            let out = self.west.forward_pair(
-                &mut tape,
-                &self.store,
-                &pq.x_q,
-                &pq.q_edges,
-                &sub.x,
-                &sub.edges,
-                &sub.gb,
-            );
-            tape.value(out.log_count).item() as f64
+            let run = || {
+                let _sp = Span::enter("gnn.forward");
+                let t0 = std::time::Instant::now();
+                let sub = &pq.subs[i];
+                let mut tape = Tape::new();
+                let out = self.west.forward_pair(
+                    &mut tape,
+                    &self.store,
+                    &pq.x_q,
+                    &pq.q_edges,
+                    &sub.x,
+                    &sub.edges,
+                    &sub.gb,
+                );
+                let z = tape.value(out.log_count).item() as f64;
+                (z, t0.elapsed().as_nanos() as u64)
+            };
+            if sub_lanes {
+                obs::scope(sink, obs::lane::sub(i), run)
+            } else {
+                run()
+            }
         });
+        let mut report = pq.report.clone();
+        for &(_, ns) in &logs {
+            sink.observe("gnn.forward.ns", ns);
+            report.gnn_ns += ns;
+        }
         EstimateDetail {
-            count: logs.iter().map(|z| z.exp()).sum(),
+            count: logs.iter().map(|&(z, _)| z.exp()).sum(),
             n_substructures: logs.len(),
             trivially_zero: false,
             degraded: pq.degraded,
+            report,
         }
     }
 
@@ -248,42 +390,52 @@ impl NeurSc {
         g: &Graph,
         ctx: &GraphContext,
     ) -> Vec<Result<EstimateDetail, NeurScError>> {
-        if !queries.is_empty() {
-            if self.config.uses_extraction() {
-                let _ = ctx.profiles.profiles(g, self.config.filter.profile_radius);
-            } else {
-                let _ = ctx.features.features(g, &self.config.features);
-            }
-        }
-        let caught = parallel_map_caught(queries.len(), self.config.parallelism.threads, |i| {
-            ctx.faults.trip_panic(i);
-            let pq = if ctx.faults.starved(i) {
-                prepare_query_budgeted(
-                    &queries[i],
-                    g,
-                    &self.config,
-                    0,
-                    ctx,
-                    &FilterBudget::steps(0),
-                )
-            } else {
-                prepare_query_with(&queries[i], g, &self.config, 0, ctx)
-            }?;
-            // Substructure fan-out stays sequential here: the per-query
-            // fan-out already occupies the configured workers, and nesting
-            // scopes would oversubscribe without changing results.
-            Ok(self.estimate_prepared_threads(&pq, 1))
-        });
-        caught
-            .into_iter()
-            .map(|r| match r {
-                Ok(inner) => inner,
-                Err(p) => Err(NeurScError::Panicked {
-                    item: p.index,
-                    message: p.message,
-                }),
-            })
-            .collect()
+        obs::scope(&ctx.obs, obs::lane::ROOT, || {
+            self.warm_caches(queries.is_empty(), g, ctx);
+            let caught = parallel_map_caught(queries.len(), self.config.parallelism.threads, |i| {
+                obs::scope(&ctx.obs, obs::lane::item(i), || {
+                    let mut sp = Span::enter("pipeline.query");
+                    let r = (|| {
+                        ctx.faults.trip_panic(i);
+                        let pq = if ctx.faults.starved(i) {
+                            prepare_query_budgeted(
+                                &queries[i],
+                                g,
+                                &self.config,
+                                0,
+                                ctx,
+                                &FilterBudget::steps(0),
+                            )
+                        } else {
+                            prepare_query_with(&queries[i], g, &self.config, 0, ctx)
+                        }?;
+                        // Substructure fan-out stays sequential here: the
+                        // per-query fan-out already occupies the configured
+                        // workers, and nesting scopes would oversubscribe
+                        // without changing results.
+                        Ok(self.estimate_prepared_obs(&pq, 1, &ctx.obs, false))
+                    })();
+                    if let Err(e) = &r {
+                        sp.set_tag(obs::error_tag(e));
+                    }
+                    r
+                })
+            });
+            caught
+                .into_iter()
+                .map(|r| {
+                    let slot = match r {
+                        Ok(inner) => inner,
+                        Err(p) => Err(NeurScError::Panicked {
+                            item: p.index,
+                            message: p.message,
+                        }),
+                    };
+                    count_outcome(ctx.obs.as_ref(), &slot);
+                    slot
+                })
+                .collect()
+        })
     }
 
     /// The §5.8 trade-off: estimates from a uniform substructure sample of

@@ -28,6 +28,7 @@ use crate::distances::{metric_loss, select_nearest_pairs};
 use crate::error::NeurScError;
 use crate::loss::{count_loss, CountLossMode};
 use crate::model::NeurSc;
+use crate::obs::{ObsSink, PipelineReport, Span};
 use crate::west::WestOutput;
 use neursc_gnn::{init_features, EdgeList};
 use neursc_graph::Graph;
@@ -69,6 +70,9 @@ pub struct PreparedQuery {
     /// Whether a filtering budget forced degraded (sound-but-looser)
     /// candidate sets — see [`crate::extraction::Extraction::degraded`].
     pub degraded: bool,
+    /// Per-stage wall timings of preparation (wall-clock fields — never
+    /// part of any determinism guarantee; see [`crate::obs`]).
+    pub report: PipelineReport,
 }
 
 /// Rejects queries the pipeline must not attempt: empty graphs (no vertex
@@ -147,7 +151,7 @@ fn prepare_query_impl(
     if !cfg.uses_extraction() {
         // NeurSC w/o SE: the "substructure" is the entire data graph.
         let x_g = match ctx {
-            Some(ctx) => (*ctx.features.features(g, &cfg.features)).clone(),
+            Some(ctx) => (*ctx.features_for(g, &cfg.features).0).clone(),
             None => init_features(g, &cfg.features),
         };
         let sub = PreparedSub {
@@ -163,6 +167,7 @@ fn prepare_query_impl(
             truth,
             trivially_zero: false,
             degraded: false,
+            report: PipelineReport::default(),
         });
     }
 
@@ -184,16 +189,23 @@ fn prepare_query_impl(
         };
         crate::extraction::extract_substructures_budgeted(q, g, cfg, ctx, &budget)?
     };
-    let subs = ex
-        .substructures
-        .iter()
-        .map(|s| PreparedSub {
-            x: init_features(&s.graph, &cfg.features),
-            edges: EdgeList::from_graph(&s.graph),
-            gb: build_bipartite_edges_with(q, s, &mut rng, cfg.gb_connect_components),
-            local_cs: s.local_cs.clone(),
-        })
-        .collect();
+    let mut report = ex.report.clone();
+    let subs = {
+        let _sp = Span::enter("extract.featurize");
+        let t0 = std::time::Instant::now();
+        let subs: Vec<PreparedSub> = ex
+            .substructures
+            .iter()
+            .map(|s| PreparedSub {
+                x: init_features(&s.graph, &cfg.features),
+                edges: EdgeList::from_graph(&s.graph),
+                gb: build_bipartite_edges_with(q, s, &mut rng, cfg.gb_connect_components),
+                local_cs: s.local_cs.clone(),
+            })
+            .collect();
+        report.featurize_ns = t0.elapsed().as_nanos() as u64;
+        subs
+    };
     Ok(PreparedQuery {
         x_q,
         q_edges,
@@ -201,6 +213,7 @@ fn prepare_query_impl(
         truth,
         trivially_zero: ex.trivially_zero,
         degraded: ex.degraded,
+        report,
     })
 }
 
@@ -234,7 +247,7 @@ pub fn forward_prepared(
 }
 
 /// Summary of a training run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Pre-training epochs executed (may stop early on divergence).
     pub pretrain_epochs: usize,
@@ -255,6 +268,29 @@ pub struct TrainReport {
     /// divergence (always true when `diverged_at` is set — the initial
     /// weights are the fallback checkpoint).
     pub rolled_back: bool,
+    /// Mean count loss of every executed epoch, both phases in order
+    /// (deterministic for fixed inputs — included in equality).
+    pub epoch_losses: Vec<f64>,
+    /// Aggregated per-stage preparation timings over the whole training set
+    /// (wall clock — **excluded from equality**; see [`crate::obs`]).
+    pub report: PipelineReport,
+}
+
+/// Equality deliberately ignores `report`: nanosecond timings differ run to
+/// run, while everything else (including `epoch_losses`) is bit-reproducible
+/// for fixed inputs.
+impl PartialEq for TrainReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.pretrain_epochs == other.pretrain_epochs
+            && self.adversarial_epochs == other.adversarial_epochs
+            && self.skipped_queries == other.skipped_queries
+            && self.failed_queries == other.failed_queries
+            && (self.final_loss == other.final_loss
+                || (self.final_loss.is_nan() && other.final_loss.is_nan()))
+            && self.diverged_at == other.diverged_at
+            && self.rolled_back == other.rolled_back
+            && self.epoch_losses == other.epoch_losses
+    }
 }
 
 /// Best-checkpoint snapshot + non-finite detection across epochs.
@@ -322,6 +358,30 @@ impl DivergenceGuard {
 
 /// Runs both training phases over prepared queries.
 pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainReport {
+    run_training_obs(model, prepared, crate::obs::noop())
+}
+
+/// [`run_training`] with observability: phase/epoch spans
+/// (`train.pretrain`, `train.adversarial`, `train.epoch`,
+/// `train.discriminator`), a `train.epoch_loss` gauge, `train.epoch.ns`
+/// histogram, `train.grad_norm` gauge (pre-clip, when clipping is on) and a
+/// `train.divergence.rollback` counter delivered to `sink`. Identical
+/// training behavior by construction.
+pub fn run_training_obs(
+    model: &mut NeurSc,
+    prepared: &[PreparedQuery],
+    sink: &std::sync::Arc<dyn ObsSink>,
+) -> TrainReport {
+    crate::obs::scope(sink, crate::obs::lane::ROOT, || {
+        run_training_inner(model, prepared, sink)
+    })
+}
+
+fn run_training_inner(
+    model: &mut NeurSc,
+    prepared: &[PreparedQuery],
+    sink: &std::sync::Arc<dyn ObsSink>,
+) -> TrainReport {
     let cfg = model.config.clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0074_7261_696e);
     let usable: Vec<&PreparedQuery> = prepared
@@ -329,6 +389,11 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
         .filter(|p| !p.trivially_zero && !p.subs.is_empty())
         .collect();
     let skipped = prepared.len() - usable.len();
+    sink.counter_add("train.skipped_queries", skipped as u64);
+    let mut agg_report = PipelineReport::default();
+    for p in prepared {
+        agg_report.merge(&p.report);
+    }
     if usable.is_empty() {
         return TrainReport {
             pretrain_epochs: 0,
@@ -338,6 +403,8 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
             final_loss: f64::NAN,
             diverged_at: None,
             rolled_back: false,
+            epoch_losses: Vec::new(),
+            report: agg_report,
         };
     }
 
@@ -350,47 +417,59 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
     let mut pre_done = 0;
     let mut adv_done = 0;
     let mut stopped = false;
+    let mut epoch_losses = Vec::with_capacity(cfg.pretrain_epochs + cfg.adversarial_epochs);
 
     // ---- Phase 1: count-loss pre-training --------------------------------
     let mut order: Vec<usize> = (0..usable.len()).collect();
-    for _epoch in 0..cfg.pretrain_epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0;
-        for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let mut acc = GradAccum::new(model, &est_params);
-            for &qi in chunk {
-                let pq = usable[qi];
-                model.store.zero_grads();
-                let mut tape = Tape::new();
-                let Some((_, zs)) = forward_prepared(model, &mut tape, pq) else {
-                    continue;
-                };
-                let lc = count_loss(&mut tape, &zs, pq.truth, CountLossMode::LogQError);
-                let l = tape.value(lc).item() as f64;
-                epoch_loss += l;
-                if !l.is_finite() {
-                    // A non-finite loss has no usable gradient; the epoch
-                    // total is already poisoned and the guard will catch it.
-                    continue;
+    {
+        let _phase = Span::enter("train.pretrain");
+        for _epoch in 0..cfg.pretrain_epochs {
+            let _ep = Span::enter("train.epoch");
+            let t0 = std::time::Instant::now();
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let mut acc = GradAccum::new(model, &est_params);
+                for &qi in chunk {
+                    let pq = usable[qi];
+                    model.store.zero_grads();
+                    let mut tape = Tape::new();
+                    let Some((_, zs)) = forward_prepared(model, &mut tape, pq) else {
+                        continue;
+                    };
+                    let lc = count_loss(&mut tape, &zs, pq.truth, CountLossMode::LogQError);
+                    let l = tape.value(lc).item() as f64;
+                    epoch_loss += l;
+                    if !l.is_finite() {
+                        // A non-finite loss has no usable gradient; the epoch
+                        // total is already poisoned and the guard will catch it.
+                        continue;
+                    }
+                    tape.backward(lc, &mut model.store);
+                    acc.absorb(model);
                 }
-                tape.backward(lc, &mut model.store);
-                acc.absorb(model);
+                acc.step(model, &mut opt_est, cfg.grad_clip, sink.as_ref());
             }
-            acc.step(model, &mut opt_est, cfg.grad_clip);
+            final_loss = epoch_loss / usable.len() as f64;
+            epoch_losses.push(final_loss);
+            sink.gauge_set("train.epoch_loss", final_loss);
+            sink.observe("train.epoch.ns", t0.elapsed().as_nanos() as u64);
+            if guard.observe_epoch(model, final_loss) {
+                stopped = true;
+                break;
+            }
+            pre_done += 1;
         }
-        final_loss = epoch_loss / usable.len() as f64;
-        if guard.observe_epoch(model, final_loss) {
-            stopped = true;
-            break;
-        }
-        pre_done += 1;
     }
 
     // ---- Phase 2: adversarial fine-tuning (Algorithm 3) ------------------
+    let _phase = Span::enter("train.adversarial");
     for _epoch in 0..cfg.adversarial_epochs {
         if stopped {
             break;
         }
+        let _ep = Span::enter("train.epoch");
+        let t0 = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
@@ -405,6 +484,7 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
                 // Lines 10–12: critic updates on detached representations
                 // (these zero/overwrite store grads; θ grads live in `acc`).
                 if cfg.uses_discriminator() {
+                    let _disc_sp = Span::enter("train.discriminator");
                     for (out, sub) in outs.iter().zip(&pq.subs) {
                         let hq_val = tape.value(out.h_q).clone();
                         let hs_val = tape.value(out.h_sub).clone();
@@ -417,6 +497,7 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
                                 &disc_params,
                                 &mut opt_disc,
                             );
+                            sink.counter_add("train.critic_steps", 1);
                         }
                     }
                 }
@@ -452,9 +533,12 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
                 // dropped (ω is stepped exclusively by its own optimizer).
                 acc.absorb(model);
             }
-            acc.step(model, &mut opt_est, cfg.grad_clip);
+            acc.step(model, &mut opt_est, cfg.grad_clip, sink.as_ref());
         }
         final_loss = epoch_loss / usable.len() as f64;
+        epoch_losses.push(final_loss);
+        sink.gauge_set("train.epoch_loss", final_loss);
+        sink.observe("train.epoch.ns", t0.elapsed().as_nanos() as u64);
         if guard.observe_epoch(model, final_loss) {
             break;
         }
@@ -466,6 +550,7 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
         // the diverged value travels in `NeurScError::Divergence` when the
         // caller asked to fail hard.
         final_loss = guard.diverged_loss;
+        sink.counter_add("train.divergence.rollback", 1);
     }
     TrainReport {
         pretrain_epochs: pre_done,
@@ -475,6 +560,8 @@ pub fn run_training(model: &mut NeurSc, prepared: &[PreparedQuery]) -> TrainRepo
         final_loss,
         diverged_at: guard.diverged_at,
         rolled_back: guard.rolled_back,
+        epoch_losses,
+        report: agg_report,
     }
 }
 
@@ -588,9 +675,15 @@ impl GradAccum {
         self.count += 1;
     }
 
-    /// Writes averaged gradients back, clips their global norm when asked,
-    /// and steps the optimizer.
-    fn step(&mut self, model: &mut NeurSc, opt: &mut Adam, grad_clip: Option<f32>) {
+    /// Writes averaged gradients back, clips their global norm when asked
+    /// (gauging the pre-clip norm to the sink), and steps the optimizer.
+    fn step(
+        &mut self,
+        model: &mut NeurSc,
+        opt: &mut Adam,
+        grad_clip: Option<f32>,
+        sink: &dyn ObsSink,
+    ) {
         if self.count == 0 {
             return;
         }
@@ -601,7 +694,8 @@ impl GradAccum {
             g.axpy_assign(inv, buf);
         }
         if let Some(max_norm) = grad_clip {
-            neursc_nn::optim::clip_grad_norm(&mut model.store, &self.params, max_norm);
+            let norm = neursc_nn::optim::clip_grad_norm(&mut model.store, &self.params, max_norm);
+            sink.gauge_set("train.grad_norm", norm as f64);
         }
         opt.step_subset(&mut model.store, &self.params);
         model.store.zero_grads();
@@ -750,6 +844,7 @@ pub fn prepare_query_perfect(
             truth,
             trivially_zero: true,
             degraded: false,
+            report: PipelineReport::default(),
         });
     }
     // Perfect substructure(s): induced on the matched set, split into
@@ -800,6 +895,7 @@ pub fn prepare_query_perfect(
         truth,
         trivially_zero: false,
         degraded: false,
+        report: PipelineReport::default(),
     })
 }
 

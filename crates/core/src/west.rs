@@ -98,12 +98,18 @@ impl WEst {
         let xs = tape.constant(x_sub.clone());
 
         // Intra-graph GIN — same parameters on both graphs.
-        let hq_intra = self.gin.forward(tape, store, xq, q_edges);
-        let hs_intra = self.gin.forward(tape, store, xs, sub_edges);
+        let (hq_intra, hs_intra) = {
+            let _sp = crate::obs::Span::enter("gnn.intra");
+            (
+                self.gin.forward(tape, store, xq, q_edges),
+                self.gin.forward(tape, store, xs, sub_edges),
+            )
+        };
 
         let (h_q, h_sub) = if let Some(inter) = &self.inter {
             // Inter-graph attention over the combined vertex set, starting
             // from initial features (Algorithm 2 line 9 refines X).
+            let _sp = crate::obs::Span::enter("gnn.inter");
             let x_all = tape.concat_rows(xq, xs);
             let h_all = inter.forward(tape, store, x_all, gb_edges);
             let hq_inter = tape.slice_rows(h_all, 0, nq);
@@ -121,17 +127,20 @@ impl WEst {
         // between a 6-vertex query and a 10⁴-vertex substructure (a
         // monotone per-coordinate map, so injectivity — and the Theorem 5.3
         // expressiveness argument — is preserved). See DESIGN.md §3.
-        let rq = {
-            let s = tape.sum_rows(h_q);
-            log1p_signed(tape, s)
+        let log_count = {
+            let _sp = crate::obs::Span::enter("gnn.readout");
+            let rq = {
+                let s = tape.sum_rows(h_q);
+                log1p_signed(tape, s)
+            };
+            let rs = {
+                let s = tape.sum_rows(h_sub);
+                log1p_signed(tape, s)
+            };
+            let hp = tape.concat_cols(rq, rs);
+            let z = self.head.forward(tape, store, hp);
+            clamp_max(tape, z, LOG_COUNT_CAP)
         };
-        let rs = {
-            let s = tape.sum_rows(h_sub);
-            log1p_signed(tape, s)
-        };
-        let hp = tape.concat_cols(rq, rs);
-        let z = self.head.forward(tape, store, hp);
-        let log_count = clamp_max(tape, z, LOG_COUNT_CAP);
         WestOutput {
             h_q,
             h_sub,

@@ -38,6 +38,14 @@ impl FeatureCache {
     /// Returns the Eq. 1 feature matrix of `g` under `cfg`, computing and
     /// memoizing it on first request.
     pub fn features(&self, g: &Graph, cfg: &FeatureConfig) -> Arc<Tensor> {
+        self.features_traced(g, cfg).0
+    }
+
+    /// [`Self::features`] plus observability data: whether the request hit
+    /// the cache, and how long a miss spent building the matrix
+    /// (`build_ns`, 0 on a hit). The core layer turns these into cache
+    /// hit/miss counters.
+    pub fn features_traced(&self, g: &Graph, cfg: &FeatureConfig) -> (Arc<Tensor>, bool, u64) {
         let fp = g.content_fingerprint();
         {
             let entries = self.entries.read();
@@ -45,10 +53,16 @@ impl FeatureCache {
                 .iter()
                 .find(|e| e.fingerprint == fp && e.config == *cfg)
             {
-                return Arc::clone(&e.features);
+                return (Arc::clone(&e.features), true, 0);
             }
         }
+        let t0 = std::time::Instant::now();
         let computed = Arc::new(init_features(g, cfg));
+        let build_ns = t0.elapsed().as_nanos() as u64;
+        (self.insert_or_share(fp, cfg, computed), false, build_ns)
+    }
+
+    fn insert_or_share(&self, fp: u64, cfg: &FeatureConfig, computed: Arc<Tensor>) -> Arc<Tensor> {
         let mut entries = self.entries.write();
         if let Some(e) = entries
             .iter()

@@ -43,11 +43,25 @@ impl ProfileCache {
     /// Returns the radius-`r` profiles of `g`, computing and memoizing them
     /// on first request.
     pub fn profiles(&self, g: &Graph, r: u32) -> Arc<Vec<Profile>> {
+        self.profiles_traced(g, r).0
+    }
+
+    /// [`Self::profiles`] plus observability data: whether the request hit
+    /// the cache, and how long a miss spent building the profiles
+    /// (`build_ns`, 0 on a hit). The core layer turns these into cache
+    /// hit/miss counters and a `filter.profile_build` span.
+    pub fn profiles_traced(&self, g: &Graph, r: u32) -> (Arc<Vec<Profile>>, bool, u64) {
         let fp = g.content_fingerprint();
         if let Some(hit) = self.lookup(fp, r) {
-            return hit;
+            return (hit, true, 0);
         }
+        let t0 = std::time::Instant::now();
         let computed = Arc::new(all_profiles(g, r));
+        let build_ns = t0.elapsed().as_nanos() as u64;
+        (self.insert_or_share(fp, r, computed), false, build_ns)
+    }
+
+    fn insert_or_share(&self, fp: u64, r: u32, computed: Arc<Vec<Profile>>) -> Arc<Vec<Profile>> {
         let mut entries = self.entries.write();
         // Another thread may have inserted while we computed; keep the
         // existing entry so all readers share one allocation.
@@ -63,6 +77,11 @@ impl ProfileCache {
             profiles: Arc::clone(&computed),
         });
         computed
+    }
+
+    /// Whether `(g, r)` is already memoized, without computing anything.
+    pub fn contains(&self, g: &Graph, r: u32) -> bool {
+        self.lookup(g.content_fingerprint(), r).is_some()
     }
 
     fn lookup(&self, fp: u64, r: u32) -> Option<Arc<Vec<Profile>>> {

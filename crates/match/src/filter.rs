@@ -45,11 +45,52 @@ pub fn filter_candidates_with(
     cfg: &FilterConfig,
     g_profiles: &[crate::profile::Profile],
 ) -> CandidateSets {
+    filter_candidates_timed(q, g, cfg, g_profiles).0
+}
+
+/// Per-phase wall timings of one filtering run, as plain data.
+///
+/// This crate stays observability-agnostic: the core layer turns these
+/// numbers into tracing spans and metrics. Nanosecond fields are real wall
+/// time and deliberately **not** part of any output-equality guarantee,
+/// which is why they live outside [`FilterOutput`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Wall time of local pruning (phase 1), nanoseconds.
+    pub local_prune_ns: u64,
+    /// Wall time of global refinement (phase 2), nanoseconds.
+    pub refine_ns: u64,
+    /// Candidate-pair tests spent, when metered (0 on the unmetered path).
+    pub steps: u64,
+}
+
+/// [`filter_candidates_with`] plus a per-phase [`StageBreakdown`].
+///
+/// The unmetered hot path: timing costs two `Instant::now` calls per phase,
+/// `steps` is reported as 0 (counting pair tests is what the budgeted path
+/// is for).
+pub fn filter_candidates_timed(
+    q: &Graph,
+    g: &Graph,
+    cfg: &FilterConfig,
+    g_profiles: &[crate::profile::Profile],
+) -> (CandidateSets, StageBreakdown) {
+    let t0 = std::time::Instant::now();
     let mut cs = local_pruning_with(q, g, cfg.profile_radius, g_profiles);
+    let local_prune_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = std::time::Instant::now();
     if !cs.any_empty() {
         global_refinement(q, g, &mut cs, cfg.refinement_rounds);
     }
-    cs
+    let refine_ns = t1.elapsed().as_nanos() as u64;
+    (
+        cs,
+        StageBreakdown {
+            local_prune_ns,
+            refine_ns,
+            steps: 0,
+        },
+    )
 }
 
 /// Result of a budgeted filtering run.
@@ -79,19 +120,43 @@ pub fn filter_candidates_budgeted(
     g_profiles: &[crate::profile::Profile],
     budget: &FilterBudget,
 ) -> Result<FilterOutput, FilterError> {
+    filter_candidates_budgeted_profiled(q, g, cfg, g_profiles, budget).map(|(out, _)| out)
+}
+
+/// [`filter_candidates_budgeted`] plus a per-phase [`StageBreakdown`]
+/// (here `steps` is the real metered count, equal to `FilterOutput::steps`).
+pub fn filter_candidates_budgeted_profiled(
+    q: &Graph,
+    g: &Graph,
+    cfg: &FilterConfig,
+    g_profiles: &[crate::profile::Profile],
+    budget: &FilterBudget,
+) -> Result<(FilterOutput, StageBreakdown), FilterError> {
     let mut meter = budget.meter();
+    let t0 = std::time::Instant::now();
     let mut cs = local_pruning_metered(q, g, cfg.profile_radius, g_profiles, &mut meter)?;
+    let local_prune_ns = t0.elapsed().as_nanos() as u64;
     let mut degraded = false;
+    let t1 = std::time::Instant::now();
     if !cs.any_empty() {
         let (_, exhausted) =
             global_refinement_metered(q, g, &mut cs, cfg.refinement_rounds, &mut meter);
         degraded = exhausted;
     }
-    Ok(FilterOutput {
-        candidates: cs,
-        degraded,
-        steps: meter.spent(),
-    })
+    let refine_ns = t1.elapsed().as_nanos() as u64;
+    let steps = meter.spent();
+    Ok((
+        FilterOutput {
+            candidates: cs,
+            degraded,
+            steps,
+        },
+        StageBreakdown {
+            local_prune_ns,
+            refine_ns,
+            steps,
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -32,6 +32,6 @@ pub use cache::ProfileCache;
 pub use candidates::CandidateSets;
 pub use enumerate::{count_embeddings, CountOutcome, CountResult};
 pub use filter::{
-    filter_candidates, filter_candidates_budgeted, filter_candidates_with, FilterConfig,
-    FilterOutput,
+    filter_candidates, filter_candidates_budgeted, filter_candidates_budgeted_profiled,
+    filter_candidates_timed, filter_candidates_with, FilterConfig, FilterOutput, StageBreakdown,
 };

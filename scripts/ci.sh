@@ -16,10 +16,25 @@ echo "== cargo clippy (no unwrap/expect in library code) =="
 cargo clippy -p neursc-graph -p neursc-match -p neursc-core --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "== cargo test =="
+OUR_CRATES=(-p neursc -p neursc-graph -p neursc-match -p neursc-nn -p neursc-gnn
+            -p neursc-core -p neursc-baselines -p neursc-workloads -p neursc-bench)
+
+echo "== cargo doc (deny warnings, our crates only) =="
+# Vendored stand-ins (vendor/*) are API-subset stubs and are not held to
+# the documentation bar; every first-party crate is.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${OUR_CRATES[@]}"
+
+echo "== cargo test (unit + integration + doc-tests) =="
 cargo test --workspace -q
+cargo test -q --doc "${OUR_CRATES[@]}"
 
 echo "== fault-injection suite =="
 cargo test -q --test fault_injection
+
+echo "== observability determinism suite =="
+cargo test -q -p neursc-core --test obs_determinism
+
+echo "== no-op sink overhead gate (DESIGN.md §8: < 2%) =="
+cargo run --release -q -p neursc-bench --bin obs_overhead
 
 echo "CI OK"

@@ -17,7 +17,7 @@
 //! layout back.
 
 use neursc::core::persist::{load_model, save_model};
-use neursc::core::{NeurSc, NeurScConfig, NeurScError};
+use neursc::core::{GraphContext, NeurSc, NeurScConfig, NeurScError, Recorder, TraceTime};
 use neursc::graph::io::{load_graph, save_graph};
 use neursc::graph::{Graph, GraphError};
 use neursc::matching::count_embeddings;
@@ -26,6 +26,7 @@ use neursc::workloads::queries::{build_query_set, QuerySetConfig};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Exit codes (documented in USAGE): 0 success, 1 other failure, 2 usage,
 /// 3 input parse error, 4 I/O error, 5 model-file corruption.
@@ -162,14 +163,23 @@ USAGE:
   neursc-cli generate --dataset <name>|--vertices N --degree D --labels L [--seed S] --out FILE
   neursc-cli queries  --data FILE --size N --count K [--seed S] [--budget B] --out-dir DIR
   neursc-cli count    --data FILE --query FILE [--budget B]
-  neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] [--threads T] --out FILE
-  neursc-cli estimate --model FILE --data FILE --query FILE [--threads T]
-  neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T]
+  neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] [--threads T] [OBS] --out FILE
+  neursc-cli estimate --model FILE --data FILE --query FILE [--threads T] [OBS]
+  neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T] [OBS]
+
+  OBS: [--trace-json FILE] [--metrics-json FILE] [--trace-time canonical|wall]
 
 Datasets: Yeast, Human, HPRD, Wordnet, DBLP, EU2005, Youtube (Table 2 presets).
 
 --threads T fans query preparation and per-substructure forwards out over T
 worker threads; results are bit-identical to --threads 1.
+
+--trace-json writes a Chrome trace_event file (open in chrome://tracing or
+Perfetto) covering filtering, extraction, GNN forwards and training epochs.
+The default --trace-time canonical uses logical lanes and ticks so the trace
+is byte-identical across --threads settings; wall uses real microseconds and
+OS thread ids. --metrics-json writes counters (cache hits, query outcomes),
+gauges (loss, grad norm) and log-scale histograms (per-stage ns).
 
 Exit codes: 0 success, 1 other failure, 2 usage, 3 input parse error,
 4 I/O error, 5 model-file corruption.";
@@ -204,6 +214,64 @@ fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, Cl
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}"))),
+    }
+}
+
+/// Observability wiring parsed from `--trace-json` / `--metrics-json` /
+/// `--trace-time`. When neither export path is given the context carries
+/// the no-op sink and the pipeline pays (almost) nothing.
+struct ObsSetup {
+    ctx: GraphContext,
+    recorder: Option<Arc<Recorder>>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trace_time: TraceTime,
+}
+
+impl ObsSetup {
+    fn from_opts(opts: &Opts) -> Result<Self, CliError> {
+        let trace_out = opts.get("trace-json").map(PathBuf::from);
+        let metrics_out = opts.get("metrics-json").map(PathBuf::from);
+        let trace_time = match opts.get("trace-time") {
+            None => TraceTime::Canonical,
+            Some(s) => TraceTime::parse(s).ok_or_else(|| {
+                CliError::usage(format!("bad --trace-time {s:?} (canonical|wall)"))
+            })?,
+        };
+        let (ctx, recorder) = if trace_out.is_some() || metrics_out.is_some() {
+            let rec = Arc::new(Recorder::new());
+            let sink: Arc<dyn neursc::core::ObsSink> = rec.clone();
+            (GraphContext::with_obs(sink), Some(rec))
+        } else {
+            (GraphContext::new(), None)
+        };
+        Ok(ObsSetup {
+            ctx,
+            recorder,
+            trace_out,
+            metrics_out,
+            trace_time,
+        })
+    }
+
+    /// Writes whichever exports were requested. Called after the command's
+    /// pipeline work finishes (including on the success path only — a
+    /// failed run exits through `CliError` before reaching this).
+    fn export(&self) -> Result<(), CliError> {
+        let Some(rec) = &self.recorder else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, rec.chrome_trace_json(self.trace_time))
+                .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+            eprintln!("wrote trace to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, rec.metrics_json())
+                .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+            eprintln!("wrote metrics to {}", path.display());
+        }
+        Ok(())
     }
 }
 
@@ -332,7 +400,9 @@ fn cmd_train(opts: &Opts) -> Result<(), CliError> {
     cfg.adversarial_epochs = (epochs / 3).max(2);
     let mut model = NeurSc::new(cfg, seed);
     apply_threads(&mut model, opts)?;
-    let report = model.fit(&g, &labeled)?;
+    let obs = ObsSetup::from_opts(opts)?;
+    let report = model.fit_with(&g, &labeled, &obs.ctx)?;
+    obs.export()?;
     save_model(&model, &out)?;
     println!(
         "trained on {} queries ({} skipped, {} failed), final loss {:.3}; wrote {}",
@@ -350,7 +420,9 @@ fn cmd_estimate(opts: &Opts) -> Result<(), CliError> {
     apply_threads(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?))?;
     let q = load_graph(Path::new(req(opts, "query")?))?;
-    let d = model.estimate_detailed(&q, &g)?;
+    let obs = ObsSetup::from_opts(opts)?;
+    let d = model.estimate_detailed_with(&q, &g, &obs.ctx)?;
+    obs.export()?;
     println!("{:.1}", d.count);
     eprintln!(
         "({} substructures{})",
@@ -377,8 +449,9 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
     // queries are isolated per item: they are reported to stderr and
     // excluded from aggregation instead of aborting the run.
     let queries: Vec<Graph> = labeled.iter().map(|(q, _)| q.clone()).collect();
-    let ctx = neursc::core::GraphContext::new();
-    let details = model.estimate_batch(&queries, &g, &ctx);
+    let obs = ObsSetup::from_opts(opts)?;
+    let details = model.estimate_batch(&queries, &g, &obs.ctx);
+    obs.export()?;
     let mut errs: Vec<f64> = Vec::new();
     let mut failed = 0usize;
     for (i, ((_, c), d)) in labeled.iter().zip(&details).enumerate() {
