@@ -1,0 +1,289 @@
+//! Serving benchmark: resident daemon vs per-request cold start.
+//!
+//! Quantifies why the daemon exists. Three measurements, written to
+//! `BENCH_serve.json` at the repository root (or `$NEURSC_BENCH_OUT`):
+//!
+//! 1. **Warm** — closed-loop client against a resident `neursc-serve`
+//!    daemon whose profile/feature caches are hot: per-request latency
+//!    percentiles (p50/p95/p99) and throughput.
+//! 2. **Cold** — the pre-daemon workflow: every request pays the full
+//!    cold start (load the graph and model from disk, build a fresh
+//!    [`GraphContext`], recompute `all_profiles(G, r)`), exactly what
+//!    `neursc-cli estimate` does per invocation minus process spawn.
+//! 3. **Pipelined** — the same client firing the whole request set
+//!    before reading replies, which lets the micro-batcher coalesce;
+//!    reports throughput and the mean batch size it achieved.
+//!
+//! The acceptance target is warm ≥ 5× cold on p50 latency. The margin
+//! comes from amortizing graph/model load and profile construction
+//! across requests — the daemon pays them once, the cold path per query.
+//!
+//! Usage: `bench_serve [--requests 64] [--cold-requests 8] [--queries 16]`.
+
+use neursc_core::persist::{load_model, save_model};
+use neursc_core::{GraphContext, NeurSc, NeurScConfig, Recorder};
+use neursc_graph::generate::{generate, DegreeModel, GraphSpec};
+use neursc_graph::io::{load_graph, save_graph};
+use neursc_graph::sample::{sample_query, QuerySampler};
+use neursc_graph::Graph;
+use neursc_serve::client::{self, Client};
+use neursc_serve::{serve, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+struct Phase {
+    n: usize,
+    total_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+impl Phase {
+    fn from_latencies(mut ns: Vec<u64>, total_s: f64) -> Phase {
+        let n = ns.len();
+        ns.sort_unstable();
+        let mean_ms = ns.iter().sum::<u64>() as f64 / n.max(1) as f64 / 1e6;
+        Phase {
+            n,
+            total_s,
+            p50_ms: percentile(&ns, 50.0),
+            p95_ms: percentile(&ns, 95.0),
+            p99_ms: percentile(&ns, 99.0),
+            mean_ms,
+        }
+    }
+
+    fn rps(&self) -> f64 {
+        self.n as f64 / self.total_s.max(1e-9)
+    }
+
+    fn json(&self, label: &str) -> String {
+        format!(
+            "  \"{label}\": {{\"requests\": {}, \"throughput_rps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}}}",
+            self.n,
+            self.rps(),
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.mean_ms
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_requests: usize = flag(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let n_cold: usize = flag(&args, "--cold-requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let n_queries: usize = flag(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    // Same shape as bench_pipeline: a data graph whose profile build
+    // dominates a single query, so residency has something to amortize.
+    let g = generate(
+        &GraphSpec {
+            n_vertices: 4000,
+            avg_degree: 8.0,
+            n_labels: 6,
+            label_zipf: 0.8,
+            model: DegreeModel::Community {
+                community_size: 40,
+                intra_fraction: 0.8,
+            },
+        },
+        11,
+    );
+    // Seeded init: both calls yield identical weights (NeurSc itself is
+    // not Clone), so daemon and cold path serve the same network.
+    let make_model = || {
+        let mut cfg = NeurScConfig::small();
+        cfg.filter.profile_radius = 4;
+        cfg.max_substructure_vertices = Some(64);
+        NeurSc::new(cfg, 11)
+    };
+    let model = make_model();
+
+    // 4-vertex queries keep the per-estimate cost small relative to the
+    // cold-start work the daemon amortizes (graph/model load + profiles).
+    let mut rng = StdRng::seed_from_u64(11);
+    let queries: Vec<Graph> = (0..n_queries)
+        .map(|_| sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap())
+        .collect();
+
+    // On-disk fixtures: the daemon loads them once, the cold path per
+    // request.
+    let dir = std::env::temp_dir().join("neursc_bench_serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let data_path = dir.join("data.graph");
+    save_graph(&g, &data_path).expect("save graph");
+    let model_path = dir.join("model.txt");
+    save_model(&model, &model_path).expect("save model");
+
+    println!(
+        "bench_serve: |V(G)|={} |E(G)|={}, {} queries, {} warm / {} cold requests",
+        g.n_vertices(),
+        g.n_edges(),
+        queries.len(),
+        n_requests,
+        n_cold
+    );
+
+    // --- resident daemon --------------------------------------------------
+    let recorder = Arc::new(Recorder::new());
+    let server =
+        serve(model, g.clone(), ServeConfig::default(), recorder.clone()).expect("start daemon");
+    let mut c = Client::connect_tcp(server.local_addr()).expect("connect");
+
+    // Warm-up: touch every query once so profile + feature caches are hot
+    // (the daemon's steady state).
+    for (i, q) in queries.iter().enumerate() {
+        let r = c
+            .request(&client::estimate_request(i as u64, q))
+            .expect("warmup");
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+
+    // --- 1. warm closed-loop ----------------------------------------------
+    let mut lat = Vec::with_capacity(n_requests);
+    let t0 = Instant::now();
+    for i in 0..n_requests {
+        let q = &queries[i % queries.len()];
+        let t = Instant::now();
+        let r = c
+            .request(&client::estimate_request(i as u64, q))
+            .expect("warm request");
+        lat.push(t.elapsed().as_nanos() as u64);
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    let warm = Phase::from_latencies(lat, t0.elapsed().as_secs_f64());
+    println!(
+        "warm:      {:>8.1} req/s, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        warm.rps(),
+        warm.p50_ms,
+        warm.p95_ms,
+        warm.p99_ms
+    );
+
+    // --- 2. pipelined burst (micro-batching) ------------------------------
+    let batches_before = batch_count(&recorder);
+    let t0 = Instant::now();
+    for i in 0..n_requests {
+        c.send_line(&client::estimate_request(
+            i as u64,
+            &queries[i % queries.len()],
+        ))
+        .expect("pipelined send");
+    }
+    for _ in 0..n_requests {
+        let r = c.recv_line().expect("pipelined recv");
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    let pipelined_s = t0.elapsed().as_secs_f64();
+    let batches = batch_count(&recorder) - batches_before;
+    let mean_batch = n_requests as f64 / batches.max(1) as f64;
+    println!(
+        "pipelined: {:>8.1} req/s over {} micro-batches (mean size {:.1})",
+        n_requests as f64 / pipelined_s.max(1e-9),
+        batches,
+        mean_batch
+    );
+
+    c.send_line(&client::shutdown_request(999_999))
+        .expect("shutdown");
+    let _ = c.recv_line();
+    server.join().expect("drain");
+
+    // --- 3. cold per-request ----------------------------------------------
+    // What serving replaces: every request re-loads the fixtures and
+    // recomputes the data-graph profiles in a fresh context.
+    let mut lat = Vec::with_capacity(n_cold);
+    let t0 = Instant::now();
+    for i in 0..n_cold {
+        let q = &queries[i % queries.len()];
+        let t = Instant::now();
+        let g = load_graph(&data_path).expect("cold load graph");
+        let m = load_model(&model_path).expect("cold load model");
+        let ctx = GraphContext::new();
+        let est = m.estimate_with(q, &g, &ctx).expect("cold estimate");
+        lat.push(t.elapsed().as_nanos() as u64);
+        assert!(est.is_finite());
+    }
+    let cold = Phase::from_latencies(lat, t0.elapsed().as_secs_f64());
+    println!(
+        "cold:      {:>8.1} req/s, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        cold.rps(),
+        cold.p50_ms,
+        cold.p95_ms,
+        cold.p99_ms
+    );
+
+    let speedup = cold.p50_ms / warm.p50_ms.max(1e-9);
+    let target_met = speedup >= 5.0;
+    println!(
+        "warm vs cold: {speedup:.1}x on p50 latency (target ≥ 5x: {})",
+        if target_met { "met ✓" } else { "MISSED" }
+    );
+    assert!(
+        target_met,
+        "resident daemon must be ≥5x faster than per-request cold start"
+    );
+
+    // --- JSON report ------------------------------------------------------
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"graph_vertices\": {},", g.n_vertices());
+    let _ = writeln!(out, "  \"graph_edges\": {},", g.n_edges());
+    let _ = writeln!(out, "  \"n_queries\": {},", queries.len());
+    let _ = writeln!(
+        out,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    out.push_str(&warm.json("warm"));
+    out.push_str(",\n");
+    out.push_str(&cold.json("cold"));
+    out.push_str(",\n");
+    let _ = writeln!(
+        out,
+        "  \"pipelined\": {{\"requests\": {n_requests}, \"throughput_rps\": {:.2}, \
+         \"micro_batches\": {batches}, \"mean_batch_size\": {mean_batch:.2}}},",
+        n_requests as f64 / pipelined_s.max(1e-9)
+    );
+    let _ = writeln!(out, "  \"warm_vs_cold_p50_speedup\": {speedup:.2},");
+    let _ = writeln!(out, "  \"warm_target_5x_met\": {target_met}");
+    out.push_str("}\n");
+
+    let path = std::env::var("NEURSC_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&path, &out).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn batch_count(recorder: &Recorder) -> u64 {
+    recorder.metrics().snapshot().counter("serve.batch")
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}

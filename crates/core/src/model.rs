@@ -390,6 +390,24 @@ impl NeurSc {
         g: &Graph,
         ctx: &GraphContext,
     ) -> Vec<Result<EstimateDetail, NeurScError>> {
+        self.estimate_batch_budgeted(queries, g, ctx, &[])
+    }
+
+    /// [`NeurSc::estimate_batch`] with an optional per-item filtering-budget
+    /// override — the batch-handoff hook a serving layer uses to map
+    /// per-request deadlines and step caps onto the degradation ladder
+    /// without touching the shared model config. `budgets[i] = Some(b)`
+    /// filters item `i` under `b`; `None` (or a `budgets` slice shorter
+    /// than `queries`) falls back to `config.budget`. Fault-plan budget
+    /// starvation still takes precedence, so injected faults behave
+    /// identically on both entry points.
+    pub fn estimate_batch_budgeted(
+        &self,
+        queries: &[Graph],
+        g: &Graph,
+        ctx: &GraphContext,
+        budgets: &[Option<FilterBudget>],
+    ) -> Vec<Result<EstimateDetail, NeurScError>> {
         obs::scope(&ctx.obs, obs::lane::ROOT, || {
             self.warm_caches(queries.is_empty(), g, ctx);
             let caught = parallel_map_caught(queries.len(), self.config.parallelism.threads, |i| {
@@ -406,6 +424,8 @@ impl NeurSc {
                                 ctx,
                                 &FilterBudget::steps(0),
                             )
+                        } else if let Some(b) = budgets.get(i).copied().flatten() {
+                            prepare_query_budgeted(&queries[i], g, &self.config, 0, ctx, &b)
                         } else {
                             prepare_query_with(&queries[i], g, &self.config, 0, ctx)
                         }?;
@@ -635,6 +655,28 @@ mod tests {
             model.estimate(&q, &g),
             Err(NeurScError::Budget { .. })
         ));
+    }
+
+    #[test]
+    fn per_item_budget_override_starves_only_its_slot() {
+        let (g, train) = workload(8, 4, 4);
+        let queries: Vec<Graph> = train.into_iter().map(|(q, _)| q).collect();
+        let model = NeurSc::new(tiny_config(), 8);
+        let ctx = GraphContext::new();
+        let plain = model.estimate_batch(&queries, &g, &ctx);
+        let budgets = vec![None, Some(FilterBudget::steps(0)), None, None];
+        let budgeted = model.estimate_batch_budgeted(&queries, &g, &ctx, &budgets);
+        assert!(matches!(
+            budgeted[1],
+            Err(NeurScError::Budget { .. }) | Ok(EstimateDetail { degraded: true, .. })
+        ));
+        for i in [0, 2, 3] {
+            assert_eq!(
+                budgeted[i].as_ref().unwrap(),
+                plain[i].as_ref().unwrap(),
+                "unbudgeted slot {i} must be unaffected"
+            );
+        }
     }
 
     #[test]

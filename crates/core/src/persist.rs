@@ -40,8 +40,34 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The FNV-1a-64 checksum of a model's serialized body — the same value
+/// the `checksum` header line of a saved file carries, so a live model can
+/// be matched against the file it was loaded from (or hot-reloaded to)
+/// without touching disk. Two models with identical config and weights
+/// have identical checksums.
+///
+/// ```
+/// use neursc_core::persist::{model_checksum, model_to_string};
+/// use neursc_core::{NeurSc, NeurScConfig};
+/// let m = NeurSc::new(NeurScConfig::small(), 1);
+/// let hex = format!("{:016x}", model_checksum(&m));
+/// assert!(model_to_string(&m).contains(&hex));
+/// ```
+pub fn model_checksum(model: &NeurSc) -> u64 {
+    fnv1a64(model_body(model).as_bytes())
+}
+
 /// Serializes a model to text (checksummed format).
 pub fn model_to_string(model: &NeurSc) -> String {
+    let body = model_body(model);
+    format!(
+        "neursc-model v1\nchecksum {:016x}\n{body}",
+        fnv1a64(body.as_bytes())
+    )
+}
+
+/// The config + parameter body covered by the header checksum.
+fn model_body(model: &NeurSc) -> String {
     let c = &model.config;
     let mut body = String::new();
     let mut kv = |k: &str, v: String| {
@@ -90,10 +116,7 @@ pub fn model_to_string(model: &NeurSc) -> String {
     );
     body.push_str("---\n");
     body.push_str(&store_to_string(&model.store));
-    format!(
-        "neursc-model v1\nchecksum {:016x}\n{body}",
-        fnv1a64(body.as_bytes())
-    )
+    body
 }
 
 fn variant_name(v: Variant) -> &'static str {

@@ -8,12 +8,15 @@
 //! against one `G` recur in every batch workload. Same design as
 //! `neursc_match::ProfileCache`: content-fingerprint keys (a rebuilt graph
 //! can never be served stale features), `Arc`-shared values, compute-
-//! outside-the-lock with a double-check on insert.
+//! outside-the-lock with a double-check on insert, and an optional
+//! capacity bound ([`FeatureCache::with_capacity`]) with least-recently-
+//! used eviction for long-running servers.
 
 use crate::features::{init_features, FeatureConfig};
 use neursc_graph::Graph;
 use neursc_nn::Tensor;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -21,18 +24,51 @@ struct CacheEntry {
     fingerprint: u64,
     config: FeatureConfig,
     features: Arc<Tensor>,
+    /// Recency stamp from the cache-wide tick, updated on every hit.
+    last_used: AtomicU64,
 }
 
 /// Thread-safe `(graph, feature config) → init_features` cache.
 #[derive(Debug, Default)]
 pub struct FeatureCache {
     entries: RwLock<Vec<CacheEntry>>,
+    /// Maximum number of entries; 0 = unbounded (the offline default).
+    capacity: AtomicUsize,
+    /// Monotonic recency clock.
+    tick: AtomicU64,
+    /// Total entries evicted over the cache's lifetime.
+    evicted: AtomicU64,
 }
 
 impl FeatureCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (nothing is ever evicted).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to at most `capacity` entries (min 1);
+    /// over-capacity inserts evict the least-recently-used entry.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.capacity.store(capacity.max(1), Ordering::Relaxed);
+        cache
+    }
+
+    /// Changes the capacity bound (`None` = unbounded). Shrinking takes
+    /// effect on the next insert.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.capacity
+            .store(capacity.map_or(0, |c| c.max(1)), Ordering::Relaxed);
+    }
+
+    /// Total entries evicted since construction (0 while unbounded).
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    fn stamp(&self, e: &CacheEntry) {
+        e.last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Returns the Eq. 1 feature matrix of `g` under `cfg`, computing and
@@ -53,6 +89,7 @@ impl FeatureCache {
                 .iter()
                 .find(|e| e.fingerprint == fp && e.config == *cfg)
             {
+                self.stamp(e);
                 return (Arc::clone(&e.features), true, 0);
             }
         }
@@ -68,13 +105,32 @@ impl FeatureCache {
             .iter()
             .find(|e| e.fingerprint == fp && e.config == *cfg)
         {
+            self.stamp(e);
             return Arc::clone(&e.features);
         }
-        entries.push(CacheEntry {
+        let entry = CacheEntry {
             fingerprint: fp,
             config: *cfg,
             features: Arc::clone(&computed),
-        });
+            last_used: AtomicU64::new(0),
+        };
+        self.stamp(&entry);
+        entries.push(entry);
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap > 0 {
+            while entries.len() > cap {
+                let Some(victim) = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                entries.swap_remove(victim);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         computed
     }
 
@@ -123,6 +179,39 @@ mod tests {
         let f2 = cache.features(&g, &c2);
         assert_eq!(cache.len(), 2);
         assert_ne!(f1.cols(), f2.cols());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = FeatureCache::with_capacity(2);
+        let cfg = FeatureConfig::default();
+        let g1 = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        let g2 = Graph::from_edges(3, &[0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let g3 = Graph::from_edges(4, &[0, 1, 2, 3], &[(0, 1), (2, 3)]).unwrap();
+        let f1 = cache.features(&g1, &cfg);
+        let _f2 = cache.features(&g2, &cfg);
+        // Touch g1 so g2 becomes the LRU victim.
+        assert!(Arc::ptr_eq(&f1, &cache.features(&g1, &cfg)));
+        let _f3 = cache.features(&g3, &cfg);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted_total(), 1);
+        // g2 was evicted: requesting it recomputes (a fresh allocation).
+        let f2_again = cache.features(&g2, &cfg);
+        assert_eq!(*f2_again, init_features(&g2, &cfg));
+        assert_eq!(cache.evicted_total(), 2);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let cache = FeatureCache::new();
+        let cfg = FeatureConfig::default();
+        for n in 1..6u32 {
+            let labels: Vec<u32> = (0..n).collect();
+            let g = Graph::from_edges(n as usize, &labels, &[]).unwrap();
+            let _ = cache.features(&g, &cfg);
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.evicted_total(), 0);
     }
 
     #[test]

@@ -8,13 +8,18 @@
 //! Entries are keyed by [`Graph::content_fingerprint`], not by pointer or
 //! name: a graph rebuilt with any change to labels or edges hashes to a
 //! different key and can never be served stale profiles (see
-//! `stale_profiles_are_never_served` below). The cache holds an unbounded
-//! list of entries — in practice one data graph × one or two radii — each
-//! behind an `Arc` so concurrent readers share one allocation.
+//! `stale_profiles_are_never_served` below). By default the cache holds an
+//! unbounded list of entries — in practice one data graph × one or two
+//! radii — each behind an `Arc` so concurrent readers share one
+//! allocation. Long-running servers that see many distinct data graphs can
+//! bound it with [`ProfileCache::with_capacity`]: over-capacity inserts
+//! evict the least-recently-used entry and count it in
+//! [`ProfileCache::evicted_total`].
 
 use crate::profile::{all_profiles, Profile};
 use neursc_graph::Graph;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -22,6 +27,9 @@ struct CacheEntry {
     fingerprint: u64,
     radius: u32,
     profiles: Arc<Vec<Profile>>,
+    /// Recency stamp from the cache-wide tick, updated on every hit (atomic
+    /// so hits stay on the shared read lock).
+    last_used: AtomicU64,
 }
 
 /// Thread-safe `(graph, radius) → all_profiles` cache.
@@ -32,12 +40,46 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     entries: RwLock<Vec<CacheEntry>>,
+    /// Maximum number of entries; 0 = unbounded (the offline default).
+    capacity: AtomicUsize,
+    /// Monotonic recency clock.
+    tick: AtomicU64,
+    /// Total entries evicted over the cache's lifetime.
+    evicted: AtomicU64,
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the offline default — nothing is ever
+    /// evicted, preserving bit-determinism of repeated runs).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to at most `capacity` entries (min 1). When
+    /// an insert exceeds the bound, the least-recently-used entry is
+    /// dropped and counted in [`Self::evicted_total`]; outstanding `Arc`s
+    /// to an evicted value stay valid.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.capacity.store(capacity.max(1), Ordering::Relaxed);
+        cache
+    }
+
+    /// Changes the capacity bound (`None` = unbounded). Shrinking takes
+    /// effect on the next insert; existing entries are not evicted eagerly.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.capacity
+            .store(capacity.map_or(0, |c| c.max(1)), Ordering::Relaxed);
+    }
+
+    /// Total entries evicted since construction (0 while unbounded).
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    fn stamp(&self, e: &CacheEntry) {
+        e.last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Returns the radius-`r` profiles of `g`, computing and memoizing them
@@ -69,13 +111,33 @@ impl ProfileCache {
             .iter()
             .find(|e| e.fingerprint == fp && e.radius == r)
         {
+            self.stamp(e);
             return Arc::clone(&e.profiles);
         }
-        entries.push(CacheEntry {
+        let entry = CacheEntry {
             fingerprint: fp,
             radius: r,
             profiles: Arc::clone(&computed),
-        });
+            last_used: AtomicU64::new(0),
+        };
+        self.stamp(&entry);
+        entries.push(entry);
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap > 0 {
+            while entries.len() > cap {
+                // Evict the least-recently-used entry (smallest stamp).
+                let Some(victim) = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                entries.swap_remove(victim);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         computed
     }
 
@@ -89,7 +151,10 @@ impl ProfileCache {
             .read()
             .iter()
             .find(|e| e.fingerprint == fp && e.radius == r)
-            .map(|e| Arc::clone(&e.profiles))
+            .map(|e| {
+                self.stamp(e);
+                Arc::clone(&e.profiles)
+            })
     }
 
     /// Number of memoized `(graph, radius)` entries.
@@ -174,6 +239,51 @@ mod tests {
         })
         .unwrap();
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = ProfileCache::with_capacity(2);
+        let g = paper_data_graph();
+        let r1 = cache.profiles(&g, 1);
+        let _r2 = cache.profiles(&g, 2);
+        // Touch radius 1 so radius 2 becomes the LRU victim.
+        assert!(Arc::ptr_eq(&r1, &cache.profiles(&g, 1)));
+        let _r3 = cache.profiles(&g, 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted_total(), 1);
+        assert!(cache.contains(&g, 1), "recently-used entry survived");
+        assert!(cache.contains(&g, 3), "new entry present");
+        assert!(!cache.contains(&g, 2), "LRU entry evicted");
+        // The evicted value is recomputed on demand, correctly.
+        let fresh = cache.profiles(&g, 2);
+        assert_eq!(fresh[0], vertex_profile(&g, 0, 2));
+        assert_eq!(cache.evicted_total(), 2, "recompute evicted the next LRU");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        for r in 1..=6 {
+            let _ = cache.profiles(&g, r);
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.evicted_total(), 0);
+    }
+
+    #[test]
+    fn set_capacity_takes_effect_on_next_insert() {
+        let cache = ProfileCache::new();
+        let g = paper_data_graph();
+        let _ = cache.profiles(&g, 1);
+        let _ = cache.profiles(&g, 2);
+        let _ = cache.profiles(&g, 3);
+        cache.set_capacity(Some(2));
+        assert_eq!(cache.len(), 3, "shrink is lazy");
+        let _ = cache.profiles(&g, 4);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted_total(), 2);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Used by the integration tests, the load generator and the CI smoke
+//! script; it is also a reasonable starting point for embedding. One
+//! request per [`Client::request`] call, or pipeline freely with
+//! [`Client::send_line`] / [`Client::recv_line`] and match responses to
+//! requests by `id`.
+
+use crate::conn::Stream;
+use crate::json::Json;
+use crate::proto::graph_to_json;
+use neursc_graph::Graph;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A blocking line-protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`). Reads time out after 30 s so a
+    /// wedged server fails a test instead of hanging it.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        let c = Client {
+            stream: Stream::Tcp(s),
+            buf: Vec::new(),
+        };
+        c.stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(c)
+    }
+
+    /// Connects to a Unix-domain socket path.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let s = UnixStream::connect(path)?;
+        let c = Client {
+            stream: Stream::Unix(s),
+            buf: Vec::new(),
+        };
+        c.stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(c)
+    }
+
+    /// Sends one frame (the newline is appended here).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        // One write per frame: splitting the newline into a second write
+        // would cost a Nagle/delayed-ACK round trip per request.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Receives one frame (without its newline). `UnexpectedEof` means the
+    /// server closed the connection.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame")
+                });
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Sends one frame and waits for the next response frame (only valid
+    /// when no other requests are in flight on this connection).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+}
+
+/// Builds an `estimate` request frame.
+pub fn estimate_request(id: u64, query: &Graph) -> String {
+    estimate_request_with(id, query, None, None)
+}
+
+/// Builds an `estimate` request frame with per-request budgets.
+pub fn estimate_request_with(
+    id: u64,
+    query: &Graph,
+    deadline_ms: Option<u64>,
+    max_filter_steps: Option<u64>,
+) -> String {
+    let mut fields = vec![
+        ("verb".to_string(), Json::Str("estimate".into())),
+        ("id".to_string(), Json::Num(id as f64)),
+        ("query".to_string(), graph_to_json(query)),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(ms as f64)));
+    }
+    if let Some(steps) = max_filter_steps {
+        fields.push(("max_filter_steps".into(), Json::Num(steps as f64)));
+    }
+    Json::Obj(fields).render()
+}
+
+/// Builds an `estimate_batch` request frame.
+pub fn estimate_batch_request(id: u64, queries: &[Graph]) -> String {
+    Json::Obj(vec![
+        ("verb".into(), Json::Str("estimate_batch".into())),
+        ("id".into(), Json::Num(id as f64)),
+        (
+            "queries".into(),
+            Json::Arr(queries.iter().map(graph_to_json).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Builds a `reload_model` request frame.
+pub fn reload_request(id: u64, path: &Path) -> String {
+    Json::Obj(vec![
+        ("verb".into(), Json::Str("reload_model".into())),
+        ("id".into(), Json::Num(id as f64)),
+        ("path".into(), Json::Str(path.display().to_string())),
+    ])
+    .render()
+}
+
+/// Builds a `stats` request frame.
+pub fn stats_request(id: u64) -> String {
+    Json::Obj(vec![
+        ("verb".into(), Json::Str("stats".into())),
+        ("id".into(), Json::Num(id as f64)),
+    ])
+    .render()
+}
+
+/// Builds a `shutdown` request frame.
+pub fn shutdown_request(id: u64) -> String {
+    Json::Obj(vec![
+        ("verb".into(), Json::Str("shutdown".into())),
+        ("id".into(), Json::Num(id as f64)),
+    ])
+    .render()
+}

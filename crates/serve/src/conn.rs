@@ -1,0 +1,91 @@
+//! Transport abstraction over the two supported socket families.
+//!
+//! The daemon is std-only networking by design (the build environment is
+//! offline, so no tokio/mio): blocking sockets, one reader thread per
+//! connection, timeouts used as a polling interval so every thread
+//! observes the drain flag promptly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected byte stream: TCP everywhere, Unix-domain where available.
+#[derive(Debug)]
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// An independently-owned handle to the same socket (used to split a
+    /// connection into a reader half and a shared writer half).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Bounds how long a single `read` may block (`None` = forever).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Disables Nagle's algorithm on TCP (a no-op on Unix sockets). The
+    /// protocol is strictly request/response per frame, so batching small
+    /// writes behind delayed ACKs only adds ~40 ms of idle latency.
+    pub fn set_nodelay(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nodelay(true),
+            #[cfg(unix)]
+            Stream::Unix(_) => Ok(()),
+        }
+    }
+
+    /// Whether a read error is the timeout/polling case rather than a real
+    /// failure (`WouldBlock` on Unix sockets, `TimedOut` on TCP/Windows).
+    pub fn is_poll_timeout(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}

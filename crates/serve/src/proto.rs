@@ -1,0 +1,388 @@
+//! The serve wire protocol: request decoding and response framing.
+//!
+//! Transport framing is one JSON object per `\n`-terminated line, both
+//! directions. Requests carry a `verb` plus verb-specific fields; every
+//! request may carry a client-chosen `id`, which the matching response
+//! echoes verbatim so clients can pipeline freely:
+//!
+//! ```text
+//! → {"verb":"estimate","id":1,"query":{"n":3,"labels":[0,1,0],"edges":[[0,1],[1,2]]},
+//!    "deadline_ms":250,"max_filter_steps":1000000}
+//! ← {"ok":true,"id":1,"estimate":42.5,"n_substructures":3,"trivially_zero":false,"degraded":false}
+//! → {"verb":"estimate","id":2,"query":{"n":0,"labels":[],"edges":[]}}
+//! ← {"ok":false,"id":2,"kind":"invalid_query","detail":"query has no vertices"}
+//! ```
+//!
+//! Verbs: `estimate`, `estimate_batch` (a `queries` array, one result per
+//! slot), `reload_model` (`path`), `stats`, `shutdown`. Every failure is a
+//! typed error frame `{"ok":false,"id":…,"kind":…,"detail":…}`; the
+//! `kind` vocabulary mirrors [`NeurScError`] plus the transport-level
+//! kinds `parse`, `too_large`, `overloaded` and `draining`.
+
+use crate::json::{self, Json};
+use neursc_core::{EstimateDetail, NeurScError};
+use neursc_graph::Graph;
+use std::fmt;
+
+/// A decoded client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Estimate one query's embedding count.
+    Estimate {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+        /// The decoded query graph.
+        query: Graph,
+        /// Per-request wall-clock deadline, in milliseconds from admission.
+        deadline_ms: Option<u64>,
+        /// Per-request deterministic filtering step cap.
+        max_filter_steps: Option<u64>,
+    },
+    /// Estimate several queries; the response carries one result per slot.
+    EstimateBatch {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+        /// The decoded query graphs, in slot order.
+        queries: Vec<Graph>,
+        /// Deadline applied to every query in the batch.
+        deadline_ms: Option<u64>,
+        /// Step cap applied to every query in the batch.
+        max_filter_steps: Option<u64>,
+    },
+    /// Atomically swap in a new model from a checksummed model file.
+    ReloadModel {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+        /// Path to the model file on the server's filesystem.
+        path: String,
+    },
+    /// Report server counters, queue depth and the active model checksum.
+    Stats {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+    },
+    /// Begin a graceful drain: finish queued work, then exit.
+    Shutdown {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+    },
+}
+
+/// A request that could not be decoded: the error frame to send back.
+#[derive(Debug)]
+pub struct RequestError {
+    /// Best-effort extracted correlation id (`Json::Null` when unknown).
+    pub id: Json,
+    /// Error kind for the frame (`parse`, `invalid_query`, …).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Maps a pipeline error onto the wire `kind` vocabulary.
+pub fn error_kind(e: &NeurScError) -> &'static str {
+    match e {
+        NeurScError::Graph(_) => "graph",
+        NeurScError::Persist(_) => "persist",
+        NeurScError::Io { .. } => "io",
+        NeurScError::Corrupt { .. } => "corrupt",
+        NeurScError::InvalidQuery { .. } => "invalid_query",
+        NeurScError::Budget { .. } => "budget",
+        NeurScError::Divergence { .. } => "divergence",
+        NeurScError::Panicked { .. } => "panicked",
+        NeurScError::NoTrainingData => "no_training_data",
+    }
+}
+
+/// Decodes one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v = json::parse(line).map_err(|e| RequestError {
+        id: Json::Null,
+        kind: "parse",
+        detail: e.to_string(),
+    })?;
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let fail = |kind: &'static str, detail: String| RequestError {
+        id: id.clone(),
+        kind,
+        detail,
+    };
+    let verb = v
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("parse", "missing string field \"verb\"".into()))?;
+    match verb {
+        "estimate" => {
+            let qv = v
+                .get("query")
+                .ok_or_else(|| fail("parse", "estimate needs a \"query\" object".into()))?;
+            let query = graph_from_json(qv).map_err(|e| fail(e.0, e.1))?;
+            let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
+            let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
+            let _ = &fail;
+            Ok(Request::Estimate {
+                id,
+                query,
+                deadline_ms,
+                max_filter_steps,
+            })
+        }
+        "estimate_batch" => {
+            let qs = v
+                .get("queries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| fail("parse", "estimate_batch needs a \"queries\" array".into()))?;
+            let mut queries = Vec::with_capacity(qs.len());
+            for (i, qv) in qs.iter().enumerate() {
+                queries.push(
+                    graph_from_json(qv).map_err(|e| fail(e.0, format!("queries[{i}]: {}", e.1)))?,
+                );
+            }
+            let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
+            let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
+            let _ = &fail;
+            Ok(Request::EstimateBatch {
+                id,
+                queries,
+                deadline_ms,
+                max_filter_steps,
+            })
+        }
+        "reload_model" => {
+            let path = v
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("parse", "reload_model needs a string \"path\"".into()))?;
+            Ok(Request::ReloadModel {
+                id,
+                path: path.to_string(),
+            })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(fail("parse", format!("unknown verb {other:?}"))),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, (&'static str, String)> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or(("parse", format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+/// Decodes the wire graph shape `{"n":N,"labels":[…],"edges":[[u,v],…]}`.
+///
+/// Structural validation (label count matches `n`, endpoints in range, no
+/// self-loops) happens before any `O(n)` allocation beyond what the frame
+/// size already bounds, so a hostile frame cannot cause amplification.
+pub fn graph_from_json(v: &Json) -> Result<Graph, (&'static str, String)> {
+    let n = v
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or(("parse", "graph needs an integer \"n\"".to_string()))?;
+    if n > u32::MAX as u64 {
+        return Err(("invalid_query", format!("n = {n} exceeds u32 range")));
+    }
+    let labels_v = v
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or(("parse", "graph needs a \"labels\" array".to_string()))?;
+    if labels_v.len() as u64 != n {
+        return Err((
+            "invalid_query",
+            format!("labels has {} entries but n = {n}", labels_v.len()),
+        ));
+    }
+    let mut labels = Vec::with_capacity(labels_v.len());
+    for l in labels_v {
+        let l = l
+            .as_u64()
+            .filter(|&l| l <= u32::MAX as u64)
+            .ok_or(("parse", "labels entries must be u32 integers".to_string()))?;
+        labels.push(l as u32);
+    }
+    let edges_v = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or(("parse", "graph needs an \"edges\" array".to_string()))?;
+    let mut edges = Vec::with_capacity(edges_v.len());
+    for (i, e) in edges_v.iter().enumerate() {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or(("parse", format!("edges[{i}] must be a [u,v] pair")))?;
+        let u = pair
+            .first()
+            .and_then(Json::as_u64)
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or(("parse", format!("edges[{i}] endpoints must be u32")))?;
+        let w = pair
+            .get(1)
+            .and_then(Json::as_u64)
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or(("parse", format!("edges[{i}] endpoints must be u32")))?;
+        edges.push((u as u32, w as u32));
+    }
+    Graph::from_edges(n as usize, &labels, &edges).map_err(|e| ("invalid_query", e.to_string()))
+}
+
+/// Encodes a graph in the wire shape (the inverse of [`graph_from_json`]).
+pub fn graph_to_json(g: &Graph) -> Json {
+    let labels = g.labels().iter().map(|&l| Json::Num(l as f64)).collect();
+    let edges = g
+        .edges()
+        .map(|e| Json::Arr(vec![Json::Num(e.u as f64), Json::Num(e.v as f64)]))
+        .collect();
+    Json::Obj(vec![
+        ("n".into(), Json::Num(g.n_vertices() as f64)),
+        ("labels".into(), Json::Arr(labels)),
+        ("edges".into(), Json::Arr(edges)),
+    ])
+}
+
+/// One estimation result as a JSON object (shared by the single and batch
+/// response shapes).
+pub fn result_to_json(r: &Result<EstimateDetail, NeurScError>) -> Json {
+    match r {
+        Ok(d) => Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("estimate".into(), Json::Num(d.count)),
+            (
+                "n_substructures".into(),
+                Json::Num(d.n_substructures as f64),
+            ),
+            ("trivially_zero".into(), Json::Bool(d.trivially_zero)),
+            ("degraded".into(), Json::Bool(d.degraded)),
+        ]),
+        Err(e) => Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            ("kind".into(), Json::Str(error_kind(e).into())),
+            ("detail".into(), Json::Str(e.to_string())),
+        ]),
+    }
+}
+
+/// Renders the response frame for a single `estimate` request.
+pub fn render_result(id: &Json, r: &Result<EstimateDetail, NeurScError>) -> String {
+    let mut obj = match result_to_json(r) {
+        Json::Obj(fields) => fields,
+        _ => Vec::new(),
+    };
+    obj.insert(1, ("id".into(), id.clone()));
+    Json::Obj(obj).render()
+}
+
+/// Renders the response frame for an `estimate_batch` request.
+pub fn render_batch(id: &Json, items: Vec<Json>) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("id".into(), id.clone()),
+        ("results".into(), Json::Arr(items)),
+    ])
+    .render()
+}
+
+/// Renders a typed error frame.
+pub fn render_error(id: &Json, kind: &str, detail: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("id".into(), id.clone()),
+        ("kind".into(), Json::Str(kind.into())),
+        ("detail".into(), Json::Str(detail.into())),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_request_roundtrips_through_the_graph_codec() {
+        let g = Graph::from_edges(3, &[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let line = format!(
+            r#"{{"verb":"estimate","id":5,"query":{},"max_filter_steps":100}}"#,
+            graph_to_json(&g).render()
+        );
+        match parse_request(&line) {
+            Ok(Request::Estimate {
+                id,
+                query,
+                deadline_ms,
+                max_filter_steps,
+            }) => {
+                assert_eq!(id.as_u64(), Some(5));
+                assert_eq!(
+                    query.content_fingerprint(),
+                    g.content_fingerprint(),
+                    "decoded graph differs"
+                );
+                assert_eq!(deadline_ms, None);
+                assert_eq!(max_filter_steps, Some(100));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_graphs_are_typed_errors() {
+        for (body, kind) in [
+            (r#"{"n":2,"labels":[0],"edges":[]}"#, "invalid_query"),
+            (r#"{"n":2,"labels":[0,1],"edges":[[0,0]]}"#, "invalid_query"),
+            (r#"{"n":2,"labels":[0,1],"edges":[[0,5]]}"#, "invalid_query"),
+            (r#"{"n":2,"labels":[0,1],"edges":[[0]]}"#, "parse"),
+            (r#"{"labels":[],"edges":[]}"#, "parse"),
+            (r#"{"n":-1,"labels":[],"edges":[]}"#, "parse"),
+        ] {
+            let line = format!(r#"{{"verb":"estimate","id":1,"query":{body}}}"#);
+            let err = parse_request(&line).expect_err(body);
+            assert_eq!(err.kind, kind, "{body}: {}", err.detail);
+            assert_eq!(err.id.as_u64(), Some(1), "id must survive for the frame");
+        }
+    }
+
+    #[test]
+    fn unknown_verbs_and_missing_ids_still_frame_cleanly() {
+        let err = parse_request(r#"{"verb":"frobnicate"}"#).unwrap_err();
+        assert_eq!(err.kind, "parse");
+        assert_eq!(err.id, Json::Null);
+        let frame = render_error(&err.id, err.kind, &err.detail);
+        assert!(frame.starts_with(r#"{"ok":false,"id":null,"kind":"parse""#));
+    }
+
+    #[test]
+    fn result_frames_echo_the_id_and_type_the_error() {
+        let ok = render_result(
+            &Json::Num(9.0),
+            &Ok(EstimateDetail {
+                count: 2.5,
+                n_substructures: 3,
+                trivially_zero: false,
+                degraded: false,
+                report: Default::default(),
+            }),
+        );
+        assert!(ok.contains(r#""id":9"#), "{ok}");
+        assert!(ok.contains(r#""estimate":2.5"#), "{ok}");
+        let err = render_result(
+            &Json::Num(9.0),
+            &Err(NeurScError::Budget {
+                detail: "steps".into(),
+            }),
+        );
+        assert!(err.contains(r#""ok":false"#), "{err}");
+        assert!(err.contains(r#""kind":"budget""#), "{err}");
+    }
+}

@@ -1,0 +1,841 @@
+//! The resident estimator daemon.
+//!
+//! Thread architecture (DESIGN.md §10):
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (per connection)
+//!                        │  parse line → admission (deadline/step budget,
+//!                        │  size cap, queue bound) → enqueue
+//!                        ▼
+//!                  request queue (Mutex + Condvar)
+//!                        │
+//!                        ▼
+//!                  batcher (single thread)
+//!                        │  coalesce ≤ max_batch within batch_wait,
+//!                        │  snapshot Arc<NeurSc>, run
+//!                        │  estimate_batch_budgeted over the shared warm
+//!                        │  GraphContext, demux one frame per request
+//!                        ▼
+//!                  per-connection writer (Mutex<Stream>)
+//! ```
+//!
+//! Control verbs (`stats`, `reload_model`, `shutdown`) are handled
+//! synchronously on the reader thread so they can never queue behind a
+//! slow batch. Hot reload loads + checksum-verifies the new file, carries
+//! the current runtime knobs (threads, budgets) over, then atomically
+//! swaps the `Arc<NeurSc>`; a batch already running keeps its old
+//! snapshot and finishes on it. Graceful drain (`shutdown`): admission
+//! starts refusing with `draining` frames, the batcher finishes the
+//! queue, every thread observes the flag within its poll interval and
+//! exits, and [`Server::join`] returns.
+
+use crate::conn::Stream;
+use crate::json::Json;
+use crate::proto::{self, Request};
+use neursc_core::persist::{load_model, model_checksum};
+use neursc_core::{FaultPlan, GraphContext, NeurSc, NeurScError, ObsSink, Recorder};
+use neursc_graph::Graph;
+use neursc_match::FilterBudget;
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// A TCP address like `127.0.0.1:7878` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path (a stale file at the path is replaced).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon configuration. The defaults favour latency on small hosts:
+/// tiny batch window, bounded queue, unbounded caches (one resident data
+/// graph), no chaos.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Worker threads per batch (estimates stay bit-identical at any
+    /// setting).
+    pub threads: usize,
+    /// Largest batch handed to the estimator at once.
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests to coalesce once it
+    /// has at least one.
+    pub batch_wait: Duration,
+    /// Admission bound on queued requests; beyond it clients get
+    /// `overloaded` frames instead of unbounded memory growth.
+    pub max_pending: usize,
+    /// Largest accepted request line, in bytes; longer frames get a
+    /// `too_large` error and the connection resynchronizes at the next
+    /// newline.
+    pub max_frame_bytes: usize,
+    /// Admission-level query-size cap (`None` = rely on the model's own
+    /// `ResourceBudget::max_query_vertices`, identical to the offline
+    /// path).
+    pub max_query_vertices: Option<usize>,
+    /// Capacity bound for the shared profile/feature caches (`None` =
+    /// unbounded, the offline default).
+    pub cache_capacity: Option<usize>,
+    /// Admission sequence numbers whose requests get an injected worker
+    /// panic (testing; mirrors [`FaultPlan::panic_on`]).
+    pub chaos_panic: Vec<u64>,
+    /// Admission sequence numbers whose requests get a starved filter
+    /// budget (testing; mirrors [`FaultPlan::starve_budget_on`]).
+    pub chaos_starve: Vec<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            threads: 1,
+            max_batch: 8,
+            batch_wait: Duration::from_micros(500),
+            max_pending: 1024,
+            max_frame_bytes: 1 << 20,
+            max_query_vertices: None,
+            cache_capacity: None,
+            chaos_panic: Vec::new(),
+            chaos_starve: Vec::new(),
+        }
+    }
+}
+
+/// Poll interval at which blocked threads re-check the drain flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Poison-tolerant lock: a panicking holder already contained its panic
+/// (or crashed its own thread); the protected data here (queues, socket
+/// writers) stays structurally valid, so we keep serving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared writer half of one client connection.
+type Replier = Arc<Mutex<Stream>>;
+
+/// Accumulator for an `estimate_batch` request: slots fill as the batcher
+/// completes them (possibly across several micro-batches); the last slot
+/// writes the combined frame.
+#[derive(Debug)]
+struct BatchAgg {
+    id: Json,
+    conn: Replier,
+    /// `(per-slot results, slots still outstanding)`.
+    slots: Mutex<(Vec<Json>, usize)>,
+}
+
+#[derive(Debug)]
+enum ReplyTo {
+    Direct { conn: Replier, id: Json },
+    Slot { agg: Arc<BatchAgg>, slot: usize },
+}
+
+#[derive(Debug)]
+struct Pending {
+    /// Admission sequence number (global arrival order; chaos hooks key
+    /// on it).
+    seq: u64,
+    query: Graph,
+    /// Per-request filtering budget from `deadline_ms`/`max_filter_steps`
+    /// (`None` = the model's configured budget).
+    budget: Option<FilterBudget>,
+    reply: ReplyTo,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<Pending>,
+    next_seq: u64,
+    served: u64,
+}
+
+struct Shared {
+    model: RwLock<Arc<NeurSc>>,
+    graph: Graph,
+    recorder: Arc<Recorder>,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Wake the batcher even if the queue is empty; taking the lock
+        // orders the store before any subsequent wait.
+        let _guard = lock(&self.queue);
+        self.notify.notify_all();
+    }
+}
+
+/// A running daemon. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown`] (or send the `shutdown` verb) and then
+/// [`Server::join`].
+pub struct Server {
+    addr: String,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// The bound listen address: `host:port` for TCP (with the real port
+    /// when 0 was requested), the socket path for Unix.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Begins a graceful drain, exactly like receiving the `shutdown`
+    /// verb.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits for the drain to complete and all threads to exit.
+    pub fn join(mut self) -> std::io::Result<()> {
+        let mut panicked = false;
+        for h in [self.acceptor.take(), self.batcher.take()]
+            .into_iter()
+            .flatten()
+        {
+            panicked |= h.join().is_err();
+        }
+        loop {
+            let Some(h) = lock(&self.readers).pop() else {
+                break;
+            };
+            panicked |= h.join().is_err();
+        }
+        #[cfg(unix)]
+        if let Listen::Unix(path) = &self.shared.cfg.listen {
+            let _ = std::fs::remove_file(path);
+        }
+        if panicked {
+            return Err(std::io::Error::other("a server thread panicked"));
+        }
+        Ok(())
+    }
+}
+
+/// Starts the daemon: binds the listen address, spawns the batcher and
+/// acceptor, and returns immediately. `recorder` receives every span and
+/// metric the pipeline emits plus the `serve.*` counters; the `stats`
+/// verb exports its registry.
+pub fn serve(
+    mut model: NeurSc,
+    graph: Graph,
+    cfg: ServeConfig,
+    recorder: Arc<Recorder>,
+) -> std::io::Result<Server> {
+    model.config.parallelism.threads = cfg.threads.max(1);
+    model.config.parallelism.apply_to_kernels();
+    let (listener, addr) = bind(&cfg.listen)?;
+
+    let mut ctx = match cfg.cache_capacity {
+        Some(c) => GraphContext::with_bounded_caches(c),
+        None => GraphContext::new(),
+    };
+    let sink: Arc<dyn ObsSink> = recorder.clone();
+    ctx.obs = sink;
+
+    let shared = Arc::new(Shared {
+        model: RwLock::new(Arc::new(model)),
+        graph,
+        recorder,
+        cfg,
+        queue: Mutex::new(QueueState::default()),
+        notify: Condvar::new(),
+        draining: AtomicBool::new(false),
+    });
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || batcher_loop(&shared, ctx))
+    };
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let readers = Arc::clone(&readers);
+        std::thread::spawn(move || acceptor_loop(&shared, listener, &readers))
+    };
+
+    Ok(Server {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        batcher: Some(batcher),
+        readers,
+    })
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+fn bind(listen: &Listen) -> std::io::Result<(Listener, String)> {
+    match listen {
+        Listen::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())?;
+            l.set_nonblocking(true)?;
+            let bound = l.local_addr()?.to_string();
+            Ok((Listener::Tcp(l), bound))
+        }
+        #[cfg(unix)]
+        Listen::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Ok((Listener::Unix(l), path.display().to_string()))
+        }
+    }
+}
+
+fn acceptor_loop(
+    shared: &Arc<Shared>,
+    listener: Listener,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.draining() {
+        let accepted = match &listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Tcp(s)),
+                Err(e) if Stream::is_poll_timeout(&e) => None,
+                Err(_) => None,
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Unix(s)),
+                Err(e) if Stream::is_poll_timeout(&e) => None,
+                Err(_) => None,
+            },
+        };
+        match accepted {
+            Some(stream) => {
+                shared.recorder.metrics().counter_add("serve.conn", 1);
+                let _ = stream.set_nodelay();
+                let Ok(writer) = stream.try_clone() else {
+                    continue;
+                };
+                let conn: Replier = Arc::new(Mutex::new(writer));
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || reader_loop(&shared, stream, &conn));
+                lock(readers).push(handle);
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Writes one `\n`-terminated frame to a connection; a failed write means
+/// the client is gone, which must never take the server down. Frame and
+/// terminator go out in a single `write_all` so each reply is one TCP
+/// segment (two would re-introduce Nagle/delayed-ACK stalls).
+fn write_frame(shared: &Shared, conn: &Replier, frame: &str) {
+    let mut line = String::with_capacity(frame.len() + 1);
+    line.push_str(frame);
+    line.push('\n');
+    let mut s = lock(conn);
+    let r = s.write_all(line.as_bytes()).and_then(|()| s.flush());
+    if r.is_err() {
+        shared
+            .recorder
+            .metrics()
+            .counter_add("serve.write_error", 1);
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                drain_lines(shared, conn, &mut buf, &mut discarding);
+            }
+            Err(e) if Stream::is_poll_timeout(&e) => {
+                if shared.draining() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Splits complete lines out of `buf` and dispatches each. Oversized
+/// frames put the connection into discard mode: bytes are dropped until
+/// the next newline, where the protocol resynchronizes.
+fn drain_lines(shared: &Arc<Shared>, conn: &Replier, buf: &mut Vec<u8>, discarding: &mut bool) {
+    loop {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let line: Vec<u8> = buf.drain(..=pos).collect();
+                if *discarding {
+                    *discarding = false; // tail of the oversized frame
+                    continue;
+                }
+                let line = trim_line(&line);
+                if line.is_empty() {
+                    continue;
+                }
+                handle_line(shared, conn, line);
+            }
+            None => {
+                if !*discarding && buf.len() > shared.cfg.max_frame_bytes {
+                    *discarding = true;
+                    buf.clear();
+                    shared.recorder.metrics().counter_add("serve.too_large", 1);
+                    write_frame(
+                        shared,
+                        conn,
+                        &proto::render_error(
+                            &Json::Null,
+                            "too_large",
+                            &format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+                        ),
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn trim_line(line: &[u8]) -> &[u8] {
+    let mut line = line;
+    while let Some((&last, rest)) = line.split_last() {
+        if last == b'\n' || last == b'\r' {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    line
+}
+
+fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
+    let Ok(text) = std::str::from_utf8(line) else {
+        write_frame(
+            shared,
+            conn,
+            &proto::render_error(&Json::Null, "parse", "frame is not valid UTF-8"),
+        );
+        return;
+    };
+    if text.len() > shared.cfg.max_frame_bytes {
+        shared.recorder.metrics().counter_add("serve.too_large", 1);
+        write_frame(
+            shared,
+            conn,
+            &proto::render_error(
+                &Json::Null,
+                "too_large",
+                &format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+            ),
+        );
+        return;
+    }
+    match proto::parse_request(text) {
+        Err(e) => {
+            shared
+                .recorder
+                .metrics()
+                .counter_add("serve.parse_error", 1);
+            write_frame(shared, conn, &proto::render_error(&e.id, e.kind, &e.detail));
+        }
+        Ok(Request::Stats { id }) => write_frame(shared, conn, &stats_frame(shared, &id)),
+        Ok(Request::Shutdown { id }) => {
+            shared.recorder.metrics().counter_add("serve.shutdown", 1);
+            shared.begin_drain();
+            let frame = Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("id".into(), id),
+                ("draining".into(), Json::Bool(true)),
+            ])
+            .render();
+            write_frame(shared, conn, &frame);
+        }
+        Ok(Request::ReloadModel { id, path }) => match reload(shared, &path) {
+            Ok(checksum) => {
+                shared.recorder.metrics().counter_add("serve.reload", 1);
+                let frame = Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("id".into(), id),
+                    ("reloaded".into(), Json::Bool(true)),
+                    (
+                        "model_checksum".into(),
+                        Json::Str(format!("{checksum:016x}")),
+                    ),
+                ])
+                .render();
+                write_frame(shared, conn, &frame);
+            }
+            Err(e) => {
+                shared
+                    .recorder
+                    .metrics()
+                    .counter_add("serve.reload_error", 1);
+                write_frame(
+                    shared,
+                    conn,
+                    &proto::render_error(&id, proto::error_kind(&e), &e.to_string()),
+                );
+            }
+        },
+        Ok(Request::Estimate {
+            id,
+            query,
+            deadline_ms,
+            max_filter_steps,
+        }) => admit(
+            shared,
+            conn,
+            id,
+            vec![query],
+            deadline_ms,
+            max_filter_steps,
+            false,
+        ),
+        Ok(Request::EstimateBatch {
+            id,
+            queries,
+            deadline_ms,
+            max_filter_steps,
+        }) => admit(
+            shared,
+            conn,
+            id,
+            queries,
+            deadline_ms,
+            max_filter_steps,
+            true,
+        ),
+    }
+}
+
+/// Checksum-verified hot reload. Runtime knobs (parallelism, budgets) are
+/// not persisted in model files; carry the active ones over so a reload
+/// swaps weights without silently resetting serving policy.
+fn reload(shared: &Shared, path: &str) -> Result<u64, NeurScError> {
+    let mut new_model = load_model(Path::new(path))?;
+    {
+        let current = shared.model.read();
+        new_model.config.parallelism = current.config.parallelism;
+        new_model.config.budget = current.config.budget;
+    }
+    let checksum = model_checksum(&new_model);
+    *shared.model.write() = Arc::new(new_model);
+    Ok(checksum)
+}
+
+fn stats_frame(shared: &Shared, id: &Json) -> String {
+    let (pending, served) = {
+        let q = lock(&shared.queue);
+        (q.items.len(), q.served)
+    };
+    let checksum = model_checksum(&shared.model.read());
+    // The registry export is pretty-printed (it is also written to files);
+    // re-render it compactly so the frame stays a single line.
+    let metrics = crate::json::parse(&shared.recorder.metrics_json())
+        .map(|v| v.render())
+        .unwrap_or_else(|_| "null".to_string());
+    let mut frame = String::from("{\"ok\":true,\"id\":");
+    id.write(&mut frame);
+    frame.push_str(&format!(
+        ",\"stats\":{{\"pending\":{pending},\"served\":{served},\"draining\":{},\
+         \"model_checksum\":\"{checksum:016x}\",\"metrics\":{metrics}}}}}",
+        shared.draining(),
+    ));
+    frame
+}
+
+/// Admission: maps the request's deadline/step cap onto a
+/// [`FilterBudget`], enforces the size cap and the queue bound, assigns
+/// sequence numbers, and enqueues. Batch requests admit per slot — an
+/// oversized slot gets its typed error in place while its siblings run.
+fn admit(
+    shared: &Arc<Shared>,
+    conn: &Replier,
+    id: Json,
+    queries: Vec<Graph>,
+    deadline_ms: Option<u64>,
+    max_filter_steps: Option<u64>,
+    batch: bool,
+) {
+    let metrics = shared.recorder.metrics();
+    metrics.counter_add("serve.request", queries.len() as u64);
+    if shared.draining() {
+        metrics.counter_add("serve.rejected", queries.len() as u64);
+        write_frame(
+            shared,
+            conn,
+            &proto::render_error(&id, "draining", "server is shutting down"),
+        );
+        return;
+    }
+    let budget = request_budget(deadline_ms, max_filter_steps);
+    let over_cap = |q: &Graph| {
+        shared
+            .cfg
+            .max_query_vertices
+            .is_some_and(|cap| q.n_vertices() > cap)
+    };
+    let cap_error = |q: &Graph| -> NeurScError {
+        NeurScError::Budget {
+            detail: format!(
+                "admission: query has {} vertices, server cap is {:?}",
+                q.n_vertices(),
+                shared.cfg.max_query_vertices
+            ),
+        }
+    };
+
+    if !batch {
+        let Some(query) = queries.into_iter().next() else {
+            write_frame(
+                shared,
+                conn,
+                &proto::render_error(&id, "parse", "estimate needs a query"),
+            );
+            return;
+        };
+        if over_cap(&query) {
+            metrics.counter_add("serve.rejected", 1);
+            write_frame(
+                shared,
+                conn,
+                &proto::render_result(&id, &Err(cap_error(&query))),
+            );
+            return;
+        }
+        let reply = ReplyTo::Direct {
+            conn: Arc::clone(conn),
+            id,
+        };
+        enqueue(shared, vec![(query, budget, reply)]);
+        return;
+    }
+
+    // Batch: pre-fill over-cap slots, enqueue the rest under one shared
+    // aggregator. An empty batch completes immediately.
+    let total = queries.len();
+    let agg = Arc::new(BatchAgg {
+        id,
+        conn: Arc::clone(conn),
+        slots: Mutex::new((vec![Json::Null; total], total)),
+    });
+    let mut to_queue = Vec::new();
+    for (slot, query) in queries.into_iter().enumerate() {
+        if over_cap(&query) {
+            metrics.counter_add("serve.rejected", 1);
+            finish_slot(
+                shared,
+                &agg,
+                slot,
+                proto::result_to_json(&Err(cap_error(&query))),
+            );
+        } else {
+            let reply = ReplyTo::Slot {
+                agg: Arc::clone(&agg),
+                slot,
+            };
+            to_queue.push((query, budget, reply));
+        }
+    }
+    if to_queue.is_empty() {
+        if total == 0 {
+            write_frame(shared, conn, &proto::render_batch(&agg.id, Vec::new()));
+        }
+        return;
+    }
+    enqueue(shared, to_queue);
+}
+
+/// Anchors the per-request deadline at admission time.
+fn request_budget(deadline_ms: Option<u64>, max_filter_steps: Option<u64>) -> Option<FilterBudget> {
+    match (deadline_ms, max_filter_steps) {
+        (None, None) => None,
+        (deadline, steps) => {
+            let mut b = steps.map_or(FilterBudget::UNBOUNDED, FilterBudget::steps);
+            if let Some(ms) = deadline {
+                b = b.with_deadline(Instant::now() + Duration::from_millis(ms));
+            }
+            Some(b)
+        }
+    }
+}
+
+/// Pushes admitted work, or answers every item with an `overloaded` frame
+/// when the queue bound would be exceeded.
+fn enqueue(shared: &Arc<Shared>, items: Vec<(Graph, Option<FilterBudget>, ReplyTo)>) {
+    let count = items.len();
+    let overflow = {
+        let mut q = lock(&shared.queue);
+        if q.items.len() + count > shared.cfg.max_pending {
+            Some(items)
+        } else {
+            for (query, budget, reply) in items {
+                let seq = q.next_seq;
+                q.next_seq += 1;
+                q.items.push_back(Pending {
+                    seq,
+                    query,
+                    budget,
+                    reply,
+                });
+            }
+            shared.notify.notify_all();
+            None
+        }
+    };
+    let Some(items) = overflow else {
+        return;
+    };
+    shared
+        .recorder
+        .metrics()
+        .counter_add("serve.rejected", count as u64);
+    for (_, _, reply) in items {
+        reject(shared, reply, "overloaded", "request queue is full");
+    }
+}
+
+/// Answers one admitted-but-unqueued item with a typed error frame.
+fn reject(shared: &Shared, reply: ReplyTo, kind: &str, detail: &str) {
+    match reply {
+        ReplyTo::Direct { conn, id } => {
+            write_frame(shared, &conn, &proto::render_error(&id, kind, detail));
+        }
+        ReplyTo::Slot { agg, slot } => {
+            let item = Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("kind".into(), Json::Str(kind.into())),
+                ("detail".into(), Json::Str(detail.into())),
+            ]);
+            finish_slot(shared, &agg, slot, item);
+        }
+    }
+}
+
+/// Records one finished slot of a batch aggregator and writes the combined
+/// frame when it was the last.
+fn finish_slot(shared: &Shared, agg: &Arc<BatchAgg>, slot: usize, result: Json) {
+    let done = {
+        let mut s = lock(&agg.slots);
+        if let Some(cell) = s.0.get_mut(slot) {
+            *cell = result;
+        }
+        s.1 = s.1.saturating_sub(1);
+        s.1 == 0
+    };
+    if done {
+        let items = std::mem::take(&mut lock(&agg.slots).0);
+        write_frame(shared, &agg.conn, &proto::render_batch(&agg.id, items));
+    }
+}
+
+fn batcher_loop(shared: &Arc<Shared>, mut ctx: GraphContext) {
+    loop {
+        let batch = next_batch(shared);
+        if batch.is_empty() {
+            return; // drained
+        }
+        run_batch(shared, &mut ctx, batch);
+    }
+}
+
+/// Blocks until work is available, then coalesces up to `max_batch`
+/// requests, waiting at most `batch_wait` for stragglers once it has one.
+/// Returns an empty batch exactly when draining and the queue is empty.
+fn next_batch(shared: &Arc<Shared>) -> Vec<Pending> {
+    let mut q = lock(&shared.queue);
+    loop {
+        if !q.items.is_empty() {
+            let deadline = Instant::now() + shared.cfg.batch_wait;
+            while q.items.len() < shared.cfg.max_batch && !shared.draining() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .notify
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = q.items.len().min(shared.cfg.max_batch);
+            return q.items.drain(..take).collect();
+        }
+        if shared.draining() {
+            return Vec::new();
+        }
+        q = shared
+            .notify
+            .wait(q)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) {
+    // Snapshot the model once per batch: a concurrent reload swaps the
+    // Arc for the *next* batch; this one finishes on its snapshot.
+    let model = shared.model.read().clone();
+    let queries: Vec<Graph> = batch.iter().map(|p| p.query.clone()).collect();
+    let budgets: Vec<Option<FilterBudget>> = batch.iter().map(|p| p.budget).collect();
+    let mut plan = FaultPlan::new();
+    for (slot, p) in batch.iter().enumerate() {
+        if shared.cfg.chaos_panic.contains(&p.seq) {
+            plan = plan.panic_on(slot);
+        }
+        if shared.cfg.chaos_starve.contains(&p.seq) {
+            plan = plan.starve_budget_on(slot);
+        }
+    }
+    ctx.faults = plan;
+
+    let t0 = Instant::now();
+    let results = model.estimate_batch_budgeted(&queries, &shared.graph, ctx, &budgets);
+    let metrics = shared.recorder.metrics();
+    metrics.counter_add("serve.batch", 1);
+    metrics.observe("serve.batch.size", batch.len() as u64);
+    metrics.observe("serve.batch.ns", t0.elapsed().as_nanos() as u64);
+
+    // Count before replying: a client that pipelines `stats` right after
+    // receiving its result must observe that result in `served`.
+    lock(&shared.queue).served += results.len() as u64;
+    for (p, r) in batch.iter().zip(&results) {
+        match &p.reply {
+            ReplyTo::Direct { conn, id } => write_frame(shared, conn, &proto::render_result(id, r)),
+            ReplyTo::Slot { agg, slot } => {
+                finish_slot(shared, agg, *slot, proto::result_to_json(r));
+            }
+        }
+    }
+}

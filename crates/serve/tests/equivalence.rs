@@ -1,0 +1,322 @@
+//! Serve-vs-offline equivalence acceptance suite.
+//!
+//! The contract: a served estimate is **bit-identical** to the offline
+//! `estimate_batch` path, at any worker thread count and any micro-batch
+//! split; poisoned requests produce typed error frames for their slot
+//! only; a concurrent `reload_model` mid-run never corrupts results or
+//! blocks the pipeline. The workload mirrors `tests/fault_injection.rs`:
+//! 32 queries with 4 poisons (injected panic, starved budget, empty
+//! query, over-cap query).
+
+use neursc_core::persist::save_model;
+use neursc_core::{FaultPlan, GraphContext, NeurSc, NeurScConfig, Recorder};
+use neursc_graph::generate::erdos_renyi;
+use neursc_graph::sample::{sample_query, QuerySampler};
+use neursc_graph::Graph;
+use neursc_serve::client::{self, Client};
+use neursc_serve::json::Json;
+use neursc_serve::{proto, serve, Listen, ServeConfig};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PANIC_ITEM: usize = 3;
+const STARVED_ITEM: usize = 11;
+const EMPTY_ITEM: usize = 17;
+const OVERSIZED_ITEM: usize = 26;
+
+fn workload(seed: u64) -> (Graph, Vec<Graph>) {
+    let g = erdos_renyi(150, 450, 4, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let queries = (0..32)
+        .map(|_| sample_query(&g, &QuerySampler::induced(4), &mut rng).unwrap())
+        .collect();
+    (g, queries)
+}
+
+fn small_config(threads: usize) -> NeurScConfig {
+    let mut cfg = NeurScConfig::small();
+    cfg.parallelism.threads = threads;
+    cfg.budget.max_query_vertices = Some(16);
+    cfg
+}
+
+/// The 32-query batch with its four poisoned slots.
+fn poisoned_batch(clean: &[Graph]) -> Vec<Graph> {
+    let mut batch = clean.to_vec();
+    batch[EMPTY_ITEM] = Graph::from_edges(0, &[], &[]).unwrap();
+    let labels = vec![0; 20];
+    let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+    batch[OVERSIZED_ITEM] = Graph::from_edges(20, &labels, &edges).unwrap();
+    batch
+}
+
+fn serve_config(threads: usize) -> ServeConfig {
+    ServeConfig {
+        threads,
+        chaos_panic: vec![PANIC_ITEM as u64],
+        chaos_starve: vec![STARVED_ITEM as u64],
+        ..ServeConfig::default()
+    }
+}
+
+/// Pipelines every query on one connection (ids = indices) and collects
+/// the responses by id.
+fn run_pipelined(addr: &str, batch: &[Graph]) -> HashMap<u64, Json> {
+    let mut c = Client::connect_tcp(addr).unwrap();
+    for (i, q) in batch.iter().enumerate() {
+        c.send_line(&client::estimate_request(i as u64, q)).unwrap();
+    }
+    let mut by_id = HashMap::new();
+    for _ in 0..batch.len() {
+        let line = c.recv_line().unwrap();
+        let v = neursc_serve::json::parse(&line).unwrap();
+        let id = v.get("id").and_then(Json::as_u64).unwrap();
+        by_id.insert(id, v);
+    }
+    c.send_line(&client::shutdown_request(9999)).unwrap();
+    let bye = c.recv_line().unwrap();
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    by_id
+}
+
+fn assert_matches_offline(
+    offline: &[Result<neursc_core::EstimateDetail, neursc_core::NeurScError>],
+    served: &HashMap<u64, Json>,
+    label: &str,
+) {
+    assert_eq!(served.len(), offline.len(), "{label}: response count");
+    for (i, off) in offline.iter().enumerate() {
+        let v = &served[&(i as u64)];
+        match off {
+            Ok(d) => {
+                assert_eq!(
+                    v.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "{label}: item {i} should be ok, got {}",
+                    v.render()
+                );
+                let est = v.get("estimate").and_then(Json::as_f64).unwrap();
+                assert_eq!(
+                    est.to_bits(),
+                    d.count.to_bits(),
+                    "{label}: item {i} not bit-identical ({est} vs {})",
+                    d.count
+                );
+            }
+            Err(e) => {
+                assert_eq!(
+                    v.get("ok").and_then(Json::as_bool),
+                    Some(false),
+                    "{label}: item {i} should be a typed error, got {}",
+                    v.render()
+                );
+                assert_eq!(
+                    v.get("kind").and_then(Json::as_str),
+                    Some(proto::error_kind(e)),
+                    "{label}: item {i} wrong error kind"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn served_estimates_are_bit_identical_to_offline_at_any_thread_count() {
+    let (g, clean) = workload(7);
+    let batch = poisoned_batch(&clean);
+
+    // Offline baseline: one estimate_batch call with the equivalent plan.
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let ctx = GraphContext::with_faults(
+        FaultPlan::new()
+            .panic_on(PANIC_ITEM)
+            .starve_budget_on(STARVED_ITEM),
+    );
+    let offline = offline_model.estimate_batch(&batch, &g, &ctx);
+    assert_eq!(offline.iter().filter(|d| d.is_ok()).count(), 28);
+
+    for threads in [1, 2, 4] {
+        let model = NeurSc::new(small_config(threads), 42);
+        let server = serve(
+            model,
+            g.clone(),
+            serve_config(threads),
+            Arc::new(Recorder::new()),
+        )
+        .unwrap();
+        let served = run_pipelined(server.local_addr(), &batch);
+        server.join().unwrap();
+        assert_matches_offline(&offline, &served, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn tiny_micro_batches_still_match_offline() {
+    // max_batch = 1 exercises the degenerate split: every request is its
+    // own batch, chaos still lands on the right sequence numbers.
+    let (g, clean) = workload(7);
+    let batch = poisoned_batch(&clean);
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let ctx = GraphContext::with_faults(
+        FaultPlan::new()
+            .panic_on(PANIC_ITEM)
+            .starve_budget_on(STARVED_ITEM),
+    );
+    let offline = offline_model.estimate_batch(&batch, &g, &ctx);
+
+    let model = NeurSc::new(small_config(2), 42);
+    let cfg = ServeConfig {
+        max_batch: 1,
+        batch_wait: Duration::from_micros(1),
+        ..serve_config(2)
+    };
+    let server = serve(model, g.clone(), cfg, Arc::new(Recorder::new())).unwrap();
+    let served = run_pipelined(server.local_addr(), &batch);
+    server.join().unwrap();
+    assert_matches_offline(&offline, &served, "max_batch=1");
+}
+
+#[test]
+fn concurrent_reload_mid_run_never_corrupts_or_blocks() {
+    let (g, clean) = workload(7);
+    let dir = std::env::temp_dir().join("neursc_serve_reload");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Same weights on disk (same config + seed), plus a corrupt copy.
+    let good_path = dir.join("same.model");
+    save_model(&NeurSc::new(small_config(1), 42), &good_path).unwrap();
+    let corrupt_path = dir.join("corrupt.model");
+    let text = std::fs::read_to_string(&good_path).unwrap();
+    std::fs::write(&corrupt_path, &text[..text.len() - 21]).unwrap();
+
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let offline_ctx = GraphContext::new();
+    let offline: Vec<u64> = clean
+        .iter()
+        .map(|q| {
+            offline_model
+                .estimate_with(q, &g, &offline_ctx)
+                .unwrap()
+                .to_bits()
+        })
+        .collect();
+
+    let model = NeurSc::new(small_config(2), 42);
+    let cfg = ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let server = serve(model, g.clone(), cfg, Arc::new(Recorder::new())).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Admin connection hammers reloads (good and corrupt) while the data
+    // connection pipelines the full workload.
+    let admin = std::thread::spawn({
+        let addr = addr.clone();
+        let good = good_path.clone();
+        let corrupt = corrupt_path.clone();
+        move || {
+            let mut c = Client::connect_tcp(&addr).unwrap();
+            for i in 0..10u64 {
+                let path = if i % 2 == 0 { &good } else { &corrupt };
+                let reply = c.request(&client::reload_request(1000 + i, path)).unwrap();
+                if i % 2 == 0 {
+                    assert!(reply.contains("\"reloaded\":true"), "{reply}");
+                } else {
+                    // Corrupt file: typed error, old model keeps serving.
+                    assert!(reply.contains("\"kind\":\"corrupt\""), "{reply}");
+                }
+            }
+        }
+    });
+
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    for (i, q) in clean.iter().enumerate() {
+        c.send_line(&client::estimate_request(i as u64, q)).unwrap();
+    }
+    let mut got = HashMap::new();
+    for _ in 0..clean.len() {
+        let v = neursc_serve::json::parse(&c.recv_line().unwrap()).unwrap();
+        let id = v.get("id").and_then(Json::as_u64).unwrap();
+        got.insert(id, v);
+    }
+    admin.join().unwrap();
+
+    for (i, bits) in offline.iter().enumerate() {
+        let v = &got[&(i as u64)];
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            v.render()
+        );
+        let est = v.get("estimate").and_then(Json::as_f64).unwrap();
+        assert_eq!(
+            est.to_bits(),
+            *bits,
+            "item {i}: reload changed the bits (same weights swapped in)"
+        );
+    }
+
+    server.shutdown();
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_request_budgets_and_stats_work_over_the_wire() {
+    let (g, clean) = workload(11);
+    let model = NeurSc::new(small_config(1), 42);
+    let server = serve(model, g, ServeConfig::default(), Arc::new(Recorder::new())).unwrap();
+    let mut c = Client::connect_tcp(server.local_addr()).unwrap();
+
+    // A starved per-request step cap degrades this request only.
+    let starved = c
+        .request(&client::estimate_request_with(1, &clean[0], None, Some(1)))
+        .unwrap();
+    let v = neursc_serve::json::parse(&starved).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(Json::as_str),
+        Some("budget"),
+        "{starved}"
+    );
+
+    // The same query unbudgeted succeeds.
+    let ok = c.request(&client::estimate_request(2, &clean[0])).unwrap();
+    assert!(ok.contains("\"ok\":true"), "{ok}");
+
+    // Stats: embedded metrics registry, checksum, served count.
+    let stats = c.request(&client::stats_request(3)).unwrap();
+    let v = neursc_serve::json::parse(&stats).unwrap();
+    let s = v.get("stats").unwrap();
+    assert_eq!(s.get("served").and_then(Json::as_u64), Some(2), "{stats}");
+    assert!(s.get("model_checksum").and_then(Json::as_str).is_some());
+    assert!(s.get("metrics").is_some(), "metrics registry embedded");
+
+    c.send_line(&client::shutdown_request(4)).unwrap();
+    let _ = c.recv_line().unwrap();
+    server.join().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_and_drains() {
+    let (g, clean) = workload(3);
+    let path = std::env::temp_dir().join(format!("neursc_serve_{}.sock", std::process::id()));
+    let model = NeurSc::new(small_config(1), 42);
+    let cfg = ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = serve(model, g, cfg, Arc::new(Recorder::new())).unwrap();
+    let mut c = Client::connect_unix(&path).unwrap();
+    let reply = c.request(&client::estimate_request(1, &clean[0])).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    c.send_line(&client::shutdown_request(2)).unwrap();
+    let _ = c.recv_line().unwrap();
+    server.join().unwrap();
+    assert!(!path.exists(), "socket file cleaned up on drain");
+}

@@ -1,0 +1,137 @@
+//! Property-based fuzz of the serve protocol parser and a live-daemon
+//! adversarial session: malformed JSON, oversized frames, truncated
+//! lines and interleaved pipelined requests must all produce typed error
+//! frames — never a panic, never a hang, never a dropped valid request.
+
+use neursc_core::{NeurSc, NeurScConfig, Recorder};
+use neursc_graph::generate::erdos_renyi;
+use neursc_serve::client::{self, Client};
+use neursc_serve::json::Json;
+use neursc_serve::{json, parse_request, serve, ServeConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the parser returns Ok or a typed error, never
+    /// panics (the harness would abort the test on any panic).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&data);
+        let _ = json::parse(&text);
+        let _ = parse_request(&text);
+    }
+
+    /// Truncating a valid frame at any byte yields a typed error or (for
+    /// full length) a valid request — never a panic.
+    #[test]
+    fn truncated_valid_frames_fail_cleanly(cut in 0usize..200, id in any::<u32>()) {
+        let g = erdos_renyi(5, 6, 3, u64::from(id));
+        let frame = client::estimate_request(u64::from(id), &g);
+        let cut = cut.min(frame.len());
+        if let Some(prefix) = frame.get(..cut) {
+            let r = parse_request(prefix);
+            if cut < frame.len() {
+                prop_assert!(r.is_err(), "accepted truncated frame {prefix:?}");
+            } else {
+                prop_assert!(r.is_ok());
+            }
+        }
+    }
+
+    /// Structured JSON that is not a valid request is always a typed
+    /// RequestError whose id survives for the error frame.
+    #[test]
+    fn structured_garbage_is_a_typed_error(
+        verb in proptest::collection::vec(0u8..27, 0..12).prop_map(|cs| {
+            cs.into_iter()
+                .map(|c| if c == 26 { '_' } else { (b'a' + c) as char })
+                .collect::<String>()
+        }),
+        id in any::<u32>(),
+    ) {
+        let line = format!(r#"{{"verb":"{verb}","id":{id}}}"#);
+        match parse_request(&line) {
+            Ok(r) => {
+                // Only the argument-free verbs can parse without a payload.
+                let ok = matches!(
+                    r,
+                    neursc_serve::Request::Stats { .. } | neursc_serve::Request::Shutdown { .. }
+                );
+                prop_assert!(ok, "verb {verb:?} parsed unexpectedly");
+            }
+            Err(e) => {
+                prop_assert_eq!(e.id.as_u64(), Some(u64::from(id)));
+                prop_assert!(!e.kind.is_empty());
+            }
+        }
+    }
+}
+
+/// One live daemon, one connection, an adversarial interleaving: valid
+/// estimates pipelined between malformed JSON, truncated frames, an
+/// oversized frame, and unknown verbs. Every valid request gets its
+/// result, every hostile line gets a typed error frame, and the daemon
+/// drains cleanly afterwards.
+#[test]
+fn interleaved_hostile_and_valid_frames_on_a_live_daemon() {
+    let g = erdos_renyi(60, 150, 3, 5);
+    let q = erdos_renyi(3, 3, 3, 6);
+    let model = NeurSc::new(NeurScConfig::small(), 42);
+    let cfg = ServeConfig {
+        max_frame_bytes: 4096,
+        ..ServeConfig::default()
+    };
+    let server = serve(model, g, cfg, Arc::new(Recorder::new())).unwrap();
+    let mut c = Client::connect_tcp(server.local_addr()).unwrap();
+
+    // 6 valid requests (ids 0..6) interleaved with hostile lines.
+    let hostile = [
+        "{not json at all",
+        r#"{"verb":"estimate"}"#,
+        r#"{"verb":"no_such_verb","id":77}"#,
+        r#"{"verb":"estimate","id":78,"query":{"n":2,"labels":[0,1],"edges":[[0,9]]}}"#,
+        "[1,2,3]",
+        r#"{"verb":"estimate","id":79,"query":{"n":1,"labels":[0],"edges":[]},"max_filter_steps":-3}"#,
+    ];
+    let mut expected_errors = hostile.len();
+    for (i, bad) in hostile.iter().enumerate() {
+        c.send_line(&client::estimate_request(i as u64, &q))
+            .unwrap();
+        c.send_line(bad).unwrap();
+    }
+    // An oversized frame (no newline until past the cap) plus one more
+    // valid request to prove the connection resynchronized.
+    let huge = format!("{{\"pad\":\"{}\"}}", "x".repeat(8192));
+    c.send_line(&huge).unwrap();
+    expected_errors += 1;
+    c.send_line(&client::estimate_request(6, &q)).unwrap();
+
+    let mut ok_ids = Vec::new();
+    let mut errors = 0;
+    for _ in 0..(7 + expected_errors) {
+        let line = c.recv_line().unwrap();
+        let v = json::parse(&line).unwrap();
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            ok_ids.push(v.get("id").and_then(Json::as_u64).unwrap());
+        } else {
+            errors += 1;
+            assert!(
+                v.get("kind").and_then(Json::as_str).is_some(),
+                "error frame without kind: {line}"
+            );
+        }
+    }
+    ok_ids.sort_unstable();
+    assert_eq!(
+        ok_ids,
+        vec![0, 1, 2, 3, 4, 5, 6],
+        "every valid request answered"
+    );
+    assert_eq!(errors, expected_errors, "every hostile line answered");
+
+    c.send_line(&client::shutdown_request(100)).unwrap();
+    let _ = c.recv_line().unwrap();
+    server.join().unwrap();
+}

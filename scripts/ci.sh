@@ -13,11 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy (no unwrap/expect in library code) =="
 # Library code on input-dependent paths must return typed errors, never
 # panic (DESIGN.md, "Failure semantics"). Tests/benches/bins are exempt.
-cargo clippy -p neursc-graph -p neursc-match -p neursc-core --lib -- \
+cargo clippy -p neursc-graph -p neursc-match -p neursc-core -p neursc-serve --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 OUR_CRATES=(-p neursc -p neursc-graph -p neursc-match -p neursc-nn -p neursc-gnn
-            -p neursc-core -p neursc-baselines -p neursc-workloads -p neursc-bench)
+            -p neursc-core -p neursc-baselines -p neursc-workloads -p neursc-bench
+            -p neursc-serve)
 
 echo "== cargo doc (deny warnings, our crates only) =="
 # Vendored stand-ins (vendor/*) are API-subset stubs and are not held to
@@ -30,6 +31,12 @@ cargo test -q --doc "${OUR_CRATES[@]}"
 
 echo "== fault-injection suite =="
 cargo test -q --test fault_injection
+
+echo "== serve smoke (daemon over loopback via the real CLI binary) =="
+cargo test -q --test serve_smoke
+
+echo "== serve equivalence + protocol fuzz =="
+cargo test -q -p neursc-serve
 
 echo "== observability determinism suite =="
 cargo test -q -p neursc-core --test obs_determinism

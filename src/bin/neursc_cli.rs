@@ -17,10 +17,13 @@
 //! layout back.
 
 use neursc::core::persist::{load_model, save_model};
-use neursc::core::{GraphContext, NeurSc, NeurScConfig, NeurScError, Recorder, TraceTime};
+use neursc::core::{
+    FaultPlan, GraphContext, NeurSc, NeurScConfig, NeurScError, Recorder, TraceTime,
+};
 use neursc::graph::io::{load_graph, save_graph};
 use neursc::graph::{Graph, GraphError};
 use neursc::matching::count_embeddings;
+use neursc::serve::{serve, Listen, ServeConfig};
 use neursc::workloads::datasets::{dataset, DatasetId};
 use neursc::workloads::queries::{build_query_set, QuerySetConfig};
 use std::collections::HashMap;
@@ -29,12 +32,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 /// Exit codes (documented in USAGE): 0 success, 1 other failure, 2 usage,
-/// 3 input parse error, 4 I/O error, 5 model-file corruption.
+/// 3 input parse error, 4 I/O error, 5 model-file corruption, 6 resource
+/// budget exhausted, 7 contained worker panic.
 const EXIT_OTHER: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_PARSE: u8 = 3;
 const EXIT_IO: u8 = 4;
 const EXIT_CORRUPT: u8 = 5;
+const EXIT_BUDGET: u8 = 6;
+const EXIT_PANICKED: u8 = 7;
 
 /// A classified CLI failure: what to print and which code to exit with.
 struct CliError {
@@ -112,7 +118,11 @@ impl From<NeurScError> for CliError {
         } else if e.is_io() {
             EXIT_IO
         } else {
-            EXIT_OTHER
+            match &e {
+                NeurScError::Budget { .. } => EXIT_BUDGET,
+                NeurScError::Panicked { .. } => EXIT_PANICKED,
+                _ => EXIT_OTHER,
+            }
         };
         CliError {
             code,
@@ -141,6 +151,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "estimate" => cmd_estimate(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -164,8 +175,15 @@ USAGE:
   neursc-cli queries  --data FILE --size N --count K [--seed S] [--budget B] --out-dir DIR
   neursc-cli count    --data FILE --query FILE [--budget B]
   neursc-cli train    --data FILE --queries DIR [--epochs N] [--seed S] [--threads T] [OBS] --out FILE
-  neursc-cli estimate --model FILE --data FILE --query FILE [--threads T] [OBS]
-  neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T] [OBS]
+  neursc-cli estimate --model FILE --data FILE --query FILE [--threads T]
+                      [--max-query-vertices V] [--inject-panic I] [OBS]
+  neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T]
+                      [--max-query-vertices V] [--inject-panic I] [OBS]
+  neursc-cli serve    --model FILE --data FILE [--listen ADDR | --unix PATH]
+                      [--threads T] [--max-batch N] [--batch-wait-us U]
+                      [--max-pending N] [--max-frame-bytes B]
+                      [--max-query-vertices V] [--cache-capacity C]
+                      [--chaos-panic SEQS] [--chaos-starve SEQS] [OBS]
 
   OBS: [--trace-json FILE] [--metrics-json FILE] [--trace-time canonical|wall]
 
@@ -181,8 +199,20 @@ is byte-identical across --threads settings; wall uses real microseconds and
 OS thread ids. --metrics-json writes counters (cache hits, query outcomes),
 gauges (loss, grad norm) and log-scale histograms (per-stage ns).
 
+serve runs a resident estimator daemon speaking line-delimited JSON over TCP
+(or a Unix socket with --unix). It prints `listening on ADDR` once bound and
+runs until a client sends the `shutdown` verb. --max-query-vertices rejects
+over-sized queries at admission; --chaos-panic/--chaos-starve take
+comma-separated admission sequence numbers whose requests get an injected
+worker panic / starved filter budget (fault-injection testing).
+
+--max-query-vertices on estimate/evaluate caps the resource budget (exit 6
+when a query exceeds it); --inject-panic I trips a contained panic on item I
+(exit 7 on estimate, a reported exclusion on evaluate).
+
 Exit codes: 0 success, 1 other failure, 2 usage, 3 input parse error,
-4 I/O error, 5 model-file corruption.";
+4 I/O error, 5 model-file corruption, 6 resource budget exhausted,
+7 contained worker panic.";
 
 type Opts = HashMap<String, String>;
 
@@ -215,6 +245,31 @@ fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, Cl
             .parse()
             .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}"))),
     }
+}
+
+fn opt_num<T: std::str::FromStr>(opts: &Opts, key: &str) -> Result<Option<T>, CliError> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}"))),
+    }
+}
+
+/// Parses a comma-separated list of non-negative integers (e.g. `3,11`).
+fn num_list(opts: &Opts, key: &str) -> Result<Vec<u64>, CliError> {
+    let Some(v) = opts.get(key) else {
+        return Ok(Vec::new());
+    };
+    v.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}")))
+        })
+        .collect()
 }
 
 /// Observability wiring parsed from `--trace-json` / `--metrics-json` /
@@ -415,13 +470,34 @@ fn cmd_train(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Applies `--max-query-vertices` (a runtime resource-budget override)
+/// to a loaded model.
+fn apply_budget_cap(model: &mut NeurSc, opts: &Opts) -> Result<(), CliError> {
+    if let Some(cap) = opt_num::<usize>(opts, "max-query-vertices")? {
+        model.config.budget.max_query_vertices = Some(cap);
+    }
+    Ok(())
+}
+
 fn cmd_estimate(opts: &Opts) -> Result<(), CliError> {
     let mut model = load_model(Path::new(req(opts, "model")?))?;
     apply_threads(&mut model, opts)?;
+    apply_budget_cap(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?))?;
     let q = load_graph(Path::new(req(opts, "query")?))?;
-    let obs = ObsSetup::from_opts(opts)?;
-    let d = model.estimate_detailed_with(&q, &g, &obs.ctx)?;
+    let mut obs = ObsSetup::from_opts(opts)?;
+    // --inject-panic routes through the batch pipeline (fault plans are
+    // keyed by batch slot), proving panic containment maps to exit 7.
+    let d = match opt_num::<usize>(opts, "inject-panic")? {
+        Some(slot) => {
+            obs.ctx.faults = FaultPlan::new().panic_on(slot);
+            model
+                .estimate_batch(std::slice::from_ref(&q), &g, &obs.ctx)
+                .pop()
+                .expect("one result per query")?
+        }
+        None => model.estimate_detailed_with(&q, &g, &obs.ctx)?,
+    };
     obs.export()?;
     println!("{:.1}", d.count);
     eprintln!(
@@ -439,6 +515,7 @@ fn cmd_estimate(opts: &Opts) -> Result<(), CliError> {
 fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
     let mut model = load_model(Path::new(req(opts, "model")?))?;
     apply_threads(&mut model, opts)?;
+    apply_budget_cap(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?))?;
     let labeled = load_labeled_dir(Path::new(req(opts, "queries")?))?;
     if labeled.is_empty() {
@@ -449,20 +526,34 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
     // queries are isolated per item: they are reported to stderr and
     // excluded from aggregation instead of aborting the run.
     let queries: Vec<Graph> = labeled.iter().map(|(q, _)| q.clone()).collect();
-    let obs = ObsSetup::from_opts(opts)?;
+    let mut obs = ObsSetup::from_opts(opts)?;
+    if let Some(slot) = opt_num::<usize>(opts, "inject-panic")? {
+        obs.ctx.faults = FaultPlan::new().panic_on(slot);
+    }
     let details = model.estimate_batch(&queries, &g, &obs.ctx);
     obs.export()?;
     let mut errs: Vec<f64> = Vec::new();
-    let mut failed = 0usize;
+    let (mut budget, mut panicked, mut invalid, mut other) = (0usize, 0usize, 0usize, 0usize);
     for (i, ((_, c), d)) in labeled.iter().zip(&details).enumerate() {
         match d {
             Ok(d) => errs.push(neursc::core::q_error(d.count, *c as f64)),
             Err(e) => {
-                failed += 1;
+                match e {
+                    NeurScError::Budget { .. } => budget += 1,
+                    NeurScError::Panicked { .. } => panicked += 1,
+                    NeurScError::InvalidQuery { .. } => invalid += 1,
+                    _ => other += 1,
+                }
                 eprintln!("q{i}: {}", chain(e));
             }
         }
     }
+    let failed = budget + panicked + invalid + other;
+    println!(
+        "excluded {failed} of {} (budget {budget}, panicked {panicked}, \
+         invalid_query {invalid}, other {other})",
+        labeled.len()
+    );
     if errs.is_empty() {
         return Err(CliError::other("every query failed"));
     }
@@ -473,5 +564,55 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
         "{} queries ({failed} failed): mean q-error {mean:.2}, geometric mean {gmean:.2}, max {max:.2}",
         errs.len()
     );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let mut model = load_model(Path::new(req(opts, "model")?))?;
+    apply_threads(&mut model, opts)?;
+    let g = load_graph(Path::new(req(opts, "data")?))?;
+
+    let listen = match opts.get("unix") {
+        Some(_) if opts.contains_key("listen") => {
+            return Err(CliError::usage(
+                "--listen and --unix are mutually exclusive",
+            ));
+        }
+        #[cfg(unix)]
+        Some(p) => Listen::Unix(PathBuf::from(p)),
+        #[cfg(not(unix))]
+        Some(_) => return Err(CliError::usage("--unix is not supported on this platform")),
+        None => Listen::Tcp(
+            opts.get("listen")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        ),
+    };
+    let cfg = ServeConfig {
+        listen,
+        threads: model.config.parallelism.threads,
+        max_batch: num(opts, "max-batch", 8)?,
+        batch_wait: std::time::Duration::from_micros(num(opts, "batch-wait-us", 500u64)?),
+        max_pending: num(opts, "max-pending", 1024)?,
+        max_frame_bytes: num(opts, "max-frame-bytes", 1 << 20)?,
+        max_query_vertices: opt_num(opts, "max-query-vertices")?,
+        cache_capacity: opt_num(opts, "cache-capacity")?,
+        chaos_panic: num_list(opts, "chaos-panic")?,
+        chaos_starve: num_list(opts, "chaos-starve")?,
+    };
+
+    // The daemon always records: `stats` exports the metrics registry
+    // over the wire, and --trace-json/--metrics-json dump it at drain.
+    let obs = ObsSetup::from_opts(opts)?;
+    let recorder = obs
+        .recorder
+        .clone()
+        .unwrap_or_else(|| Arc::new(Recorder::new()));
+    let server = serve(model, g, cfg, recorder).map_err(|e| CliError::io(format!("serve: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    server
+        .join()
+        .map_err(|e| CliError::other(format!("serve: {e}")))?;
+    obs.export()?;
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! | [`core`] | `neursc-core` | NeurSC + WEst + discriminator + training |
 //! | [`baselines`] | `neursc-baselines` | CSet, SumRDF, CS, WJ, JSUB, LSS, NSIC |
 //! | [`workloads`] | `neursc-workloads` | datasets, queries, ground truth |
+//! | [`serve`] | `neursc-serve` | resident estimator daemon (JSON over TCP/Unix) |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use neursc_gnn as gnn;
 pub use neursc_graph as graph;
 pub use neursc_match as matching;
 pub use neursc_nn as nn;
+pub use neursc_serve as serve;
 pub use neursc_workloads as workloads;
 
 /// The common imports for applications.

@@ -116,6 +116,10 @@ fn cli_full_workflow() {
         c
     });
     assert!(out.contains("mean q-error"));
+    assert!(
+        out.contains("excluded 0 of"),
+        "evaluate prints the exclusion breakdown: {out}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -231,6 +235,53 @@ fn cli_exit_codes_distinguish_parse_io_and_corruption() {
             .arg(&model);
         c
     });
+    // 6 = budget: a runtime query-size cap no 3-vertex query fits under.
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["estimate", "--model"])
+            .arg(&model)
+            .args(["--data"])
+            .arg(&data)
+            .args(["--query"])
+            .arg(qdir.join("q0.graph"))
+            .args(["--max-query-vertices", "1"]);
+        c
+    });
+    assert_eq!(code, 6, "stderr: {stderr}");
+    assert!(stderr.starts_with("error: "), "stderr: {stderr}");
+
+    // 7 = contained worker panic, surfaced as a typed error.
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["estimate", "--model"])
+            .arg(&model)
+            .args(["--data"])
+            .arg(&data)
+            .args(["--query"])
+            .arg(qdir.join("q0.graph"))
+            .args(["--inject-panic", "0"]);
+        c
+    });
+    assert_eq!(code, 7, "stderr: {stderr}");
+    assert!(stderr.contains("panic"), "stderr: {stderr}");
+
+    // evaluate isolates a panicked item: exit 0, breakdown names it.
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["evaluate", "--model"])
+            .arg(&model)
+            .args(["--data"])
+            .arg(&data)
+            .args(["--queries"])
+            .arg(&qdir)
+            .args(["--inject-panic", "1"]);
+        c
+    });
+    assert!(
+        out.contains("excluded 1 of 4 (budget 0, panicked 1, invalid_query 0, other 0)"),
+        "stdout: {out}"
+    );
+
     // Truncate the model file: the header checksum must catch it.
     let text = std::fs::read_to_string(&model).unwrap();
     std::fs::write(&model, &text[..text.len() - 25]).unwrap();
