@@ -267,10 +267,13 @@ impl NeurSc {
         Ok(self.estimate_detailed(q, g)?.count)
     }
 
-    /// Estimation with diagnostics.
+    /// Estimation with diagnostics. Disconnected queries are estimated as
+    /// the product of their connected components' estimates (paper §6.1) —
+    /// see [`NeurSc::estimate_disconnected`].
     pub fn estimate_detailed(&self, q: &Graph, g: &Graph) -> Result<EstimateDetail, NeurScError> {
-        let pq = prepare_query(q, g, &self.config, 0)?;
-        Ok(self.estimate_prepared(&pq))
+        // A throwaway context: identical values, no shared caches.
+        let ctx = GraphContext::new();
+        self.estimate_routed(q, g, &ctx, None, self.config.parallelism.threads, true)
     }
 
     /// [`NeurSc::estimate_detailed`] against a caller-provided
@@ -286,15 +289,75 @@ impl NeurSc {
     ) -> Result<EstimateDetail, NeurScError> {
         obs::scope(&ctx.obs, obs::lane::ROOT, || {
             let mut sp = Span::enter("pipeline.query");
-            let r = prepare_query_with(q, g, &self.config, 0, ctx).map(|pq| {
-                self.estimate_prepared_obs(&pq, self.config.parallelism.threads, &ctx.obs, true)
-            });
+            let r = self.estimate_routed(q, g, ctx, None, self.config.parallelism.threads, true);
             if let Err(e) = &r {
                 sp.set_tag(obs::error_tag(e));
             }
             count_outcome(ctx.obs.as_ref(), &r);
             r
         })
+    }
+
+    /// Prepares one **connected** query (or component) under an optional
+    /// per-call budget override, falling back to `config.budget`.
+    fn prepare_routed(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        ctx: &GraphContext,
+        budget: Option<FilterBudget>,
+    ) -> Result<PreparedQuery, NeurScError> {
+        match budget {
+            Some(b) => prepare_query_budgeted(q, g, &self.config, 0, ctx, &b),
+            None => prepare_query_with(q, g, &self.config, 0, ctx),
+        }
+    }
+
+    /// The single-query estimation core shared by every entry point
+    /// (single, batched, served): validates, then either runs the connected
+    /// pipeline directly or — for a disconnected query — estimates each
+    /// connected component and multiplies the counts (paper §6.1: "the
+    /// subgraph counts of a disconnected graph can be obtained by
+    /// multiplying the estimated counts of its connected components").
+    /// Extraction's component-split arithmetic is only sound for connected
+    /// queries, so this split is what makes disconnected queries return
+    /// correct results instead of garbage at every entry point.
+    fn estimate_routed(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        ctx: &GraphContext,
+        budget: Option<FilterBudget>,
+        threads: usize,
+        sub_lanes: bool,
+    ) -> Result<EstimateDetail, NeurScError> {
+        crate::train::validate_query(q, &self.config)?;
+        let components = neursc_graph::induced::connected_components(q);
+        if components.len() <= 1 {
+            let pq = self.prepare_routed(q, g, ctx, budget)?;
+            return Ok(self.estimate_prepared_obs(&pq, threads, &ctx.obs, sub_lanes));
+        }
+        let mut out = EstimateDetail {
+            count: 1.0,
+            n_substructures: 0,
+            trivially_zero: false,
+            degraded: false,
+            report: PipelineReport::default(),
+        };
+        for c in &components {
+            let pq = self.prepare_routed(&c.graph, g, ctx, budget)?;
+            let d = self.estimate_prepared_obs(&pq, threads, &ctx.obs, sub_lanes);
+            out.count *= d.count;
+            out.n_substructures += d.n_substructures;
+            out.trivially_zero |= d.trivially_zero;
+            out.degraded |= d.degraded;
+            out.report.merge(&d.report);
+        }
+        if out.trivially_zero {
+            // Any component with a provably-zero count zeroes the product.
+            out.count = 0.0;
+        }
+        Ok(out)
     }
 
     /// [`NeurSc::estimate`] with data-graph precomputations served from a
@@ -413,28 +476,18 @@ impl NeurSc {
             let caught = parallel_map_caught(queries.len(), self.config.parallelism.threads, |i| {
                 obs::scope(&ctx.obs, obs::lane::item(i), || {
                     let mut sp = Span::enter("pipeline.query");
-                    let r = (|| {
-                        ctx.faults.trip_panic(i);
-                        let pq = if ctx.faults.starved(i) {
-                            prepare_query_budgeted(
-                                &queries[i],
-                                g,
-                                &self.config,
-                                0,
-                                ctx,
-                                &FilterBudget::steps(0),
-                            )
-                        } else if let Some(b) = budgets.get(i).copied().flatten() {
-                            prepare_query_budgeted(&queries[i], g, &self.config, 0, ctx, &b)
-                        } else {
-                            prepare_query_with(&queries[i], g, &self.config, 0, ctx)
-                        }?;
-                        // Substructure fan-out stays sequential here: the
-                        // per-query fan-out already occupies the configured
-                        // workers, and nesting scopes would oversubscribe
-                        // without changing results.
-                        Ok(self.estimate_prepared_obs(&pq, 1, &ctx.obs, false))
-                    })();
+                    ctx.faults.trip_panic(i);
+                    let budget = if ctx.faults.starved(i) {
+                        Some(FilterBudget::steps(0))
+                    } else {
+                        budgets.get(i).copied().flatten()
+                    };
+                    // Substructure fan-out stays sequential here
+                    // (threads = 1): the per-query fan-out already
+                    // occupies the configured workers, and nesting
+                    // scopes would oversubscribe without changing
+                    // results.
+                    let r = self.estimate_routed(&queries[i], g, ctx, budget, 1, false);
                     if let Err(e) = &r {
                         sp.set_tag(obs::error_tag(e));
                     }
@@ -477,19 +530,13 @@ impl NeurSc {
     /// counts of a disconnected graph can be obtained by multiplying the
     /// estimated counts of its connected components" (paper §6.1).
     ///
-    /// For connected queries this is identical to [`NeurSc::estimate`].
-    /// (The product ignores the injectivity interaction between components,
-    /// exactly as the paper's approximation does.)
+    /// Every estimation entry point now applies this split internally, so
+    /// this is an alias for [`NeurSc::estimate`], kept for callers that
+    /// want the routing to be explicit at the call site. (The product
+    /// ignores the injectivity interaction between components, exactly as
+    /// the paper's approximation does.)
     pub fn estimate_disconnected(&self, q: &Graph, g: &Graph) -> Result<f64, NeurScError> {
-        let components = neursc_graph::induced::connected_components(q);
-        if components.len() <= 1 {
-            return self.estimate(q, g);
-        }
-        let mut product = 1.0;
-        for c in &components {
-            product *= self.estimate(&c.graph, g)?;
-        }
-        Ok(product)
+        self.estimate(q, g)
     }
 
     /// Mean q-error over a labeled test set (evaluation convenience).
@@ -740,5 +787,69 @@ mod disconnected_tests {
             model.estimate_disconnected(&q, &g).unwrap(),
             model.estimate(&q, &g).unwrap()
         );
+    }
+
+    #[test]
+    fn single_vertex_query_estimates_without_panicking() {
+        let g = erdos_renyi(60, 150, 3, 12);
+        let model = NeurSc::new(NeurScConfig::small(), 12);
+        let q = Graph::from_edges(1, &[1], &[]).unwrap();
+        let d = model.estimate_detailed(&q, &g).unwrap();
+        assert!(d.count.is_finite() && d.count >= 0.0, "count {}", d.count);
+        assert!(!d.trivially_zero);
+        // Batched path (the one the CLI and the serve daemon use) agrees.
+        let ctx = GraphContext::new();
+        let batched = model.estimate_batch(std::slice::from_ref(&q), &g, &ctx);
+        assert_eq!(batched[0].as_ref().unwrap(), &d);
+    }
+
+    #[test]
+    fn single_vertex_query_with_absent_label_is_trivially_zero() {
+        let g = erdos_renyi(40, 90, 2, 13);
+        let model = NeurSc::new(NeurScConfig::small(), 13);
+        let q = Graph::from_edges(1, &[99], &[]).unwrap();
+        let d = model.estimate_detailed(&q, &g).unwrap();
+        assert_eq!(d.count, 0.0);
+        assert!(d.trivially_zero);
+    }
+
+    #[test]
+    fn disconnected_query_estimates_through_every_entry_point() {
+        let g = erdos_renyi(80, 200, 3, 14);
+        let model = NeurSc::new(NeurScConfig::small(), 14);
+        // Two independent edges plus an isolated vertex — three components.
+        let q = Graph::from_edges(5, &[0, 1, 2, 0, 1], &[(0, 1), (2, 3)]).unwrap();
+        let single = model.estimate_detailed(&q, &g).unwrap();
+        assert!(single.count.is_finite() && single.count >= 0.0);
+        assert!(single.count > 0.0, "all three component labels exist in g");
+        let ctx = GraphContext::new();
+        let ctxed = model.estimate_detailed_with(&q, &g, &ctx).unwrap();
+        assert_eq!(ctxed, single);
+        let batched = model.estimate_batch(std::slice::from_ref(&q), &g, &ctx);
+        assert_eq!(batched[0].as_ref().unwrap(), &single);
+        // And the value is the §6.1 component product.
+        let e1 = model
+            .estimate(&Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap(), &g)
+            .unwrap();
+        let e2 = model
+            .estimate(&Graph::from_edges(2, &[2, 0], &[(0, 1)]).unwrap(), &g)
+            .unwrap();
+        let e3 = model
+            .estimate(&Graph::from_edges(1, &[1], &[]).unwrap(), &g)
+            .unwrap();
+        let product = e1 * e2 * e3;
+        assert!((single.count - product).abs() <= 1e-9 * product.abs().max(1.0));
+    }
+
+    #[test]
+    fn disconnected_query_prepare_is_a_typed_rejection() {
+        // Direct preparation (the training path) cannot soundly extract a
+        // disconnected query; it must fail typed, not garble the counts.
+        let g = erdos_renyi(40, 90, 2, 15);
+        let model = NeurSc::new(NeurScConfig::small(), 15);
+        let q = Graph::from_edges(4, &[0, 1, 0, 1], &[(0, 1), (2, 3)]).unwrap();
+        let ctx = GraphContext::new();
+        let r = model.prepare_batch(&g, &[(q, 0)], &ctx);
+        assert!(matches!(r[0], Err(NeurScError::InvalidQuery { .. })));
     }
 }

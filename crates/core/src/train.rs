@@ -143,6 +143,25 @@ fn prepare_query_impl(
     budget_override: Option<FilterBudget>,
 ) -> Result<PreparedQuery, NeurScError> {
     validate_query(q, cfg)?;
+    if cfg.uses_extraction() {
+        // Extraction's component-split count arithmetic (skip rule,
+        // `covers_all`) assumes every embedding lives inside one connected
+        // substructure — true only for connected queries. Estimation entry
+        // points split disconnected queries into components *before*
+        // preparing (paper §6.1, `NeurSc::estimate_disconnected`); reaching
+        // here with one is a caller error, reported as a typed rejection
+        // rather than silently producing an unsound preparation.
+        let n_components = neursc_graph::induced::connected_components(q).len();
+        if n_components > 1 {
+            return Err(NeurScError::InvalidQuery {
+                reason: format!(
+                    "query is disconnected ({n_components} components); estimate it via the \
+                     component product (every `estimate*` entry point does this) — it cannot \
+                     be prepared as a single extraction query"
+                ),
+            });
+        }
+    }
     let budget = budget_override.unwrap_or_else(|| cfg.budget.filter_budget());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e75_7263_7363_u64);
     let x_q = init_features(q, &cfg.features);

@@ -303,6 +303,39 @@ mod tests {
     }
 
     #[test]
+    fn every_degree_model_produces_simple_graphs() {
+        // The `.graph` format (and the enumerator/filter) assume simple
+        // graphs; `check_invariants` verifies sorted adjacency with no
+        // self-loops and no duplicate edges.
+        for model in [
+            DegreeModel::ErdosRenyi,
+            DegreeModel::PreferentialAttachment,
+            DegreeModel::Community {
+                community_size: 10,
+                intra_fraction: 0.8,
+            },
+        ] {
+            for seed in 0..4u64 {
+                let g = generate(
+                    &GraphSpec {
+                        n_vertices: 60,
+                        avg_degree: 5.0,
+                        n_labels: 3,
+                        label_zipf: 0.8,
+                        model,
+                    },
+                    seed,
+                );
+                assert!(g.check_invariants(), "{model:?} seed {seed}");
+                // Round-trip through the strict parser: a generator that
+                // emitted a self-loop or duplicate would fail here.
+                let text = crate::io::format_graph(&g);
+                assert_eq!(crate::io::parse_graph(&text).unwrap(), g);
+            }
+        }
+    }
+
+    #[test]
     fn er_caps_at_complete_graph() {
         let g = erdos_renyi(5, 1000, 2, 7);
         assert_eq!(g.n_edges(), 10);

@@ -15,6 +15,15 @@
 //!
 //! The declared degree is redundant (recomputable from the edge list); the
 //! parser validates it when present and tolerates its absence.
+//!
+//! The format describes **simple** graphs, matching the in-memory
+//! [`Graph`] invariants: self-loops (`e v v`) and duplicate `e` records
+//! (in either orientation) are rejected with the offending line number
+//! rather than silently canonicalized — a file that declares them is
+//! corrupt, and dropping records would make the header counts lie.
+//! (The programmatic [`GraphBuilder`] keeps its documented behavior of
+//! deduplicating repeated `add_edge` calls; only the *external* format is
+//! strict.)
 
 use crate::error::GraphError;
 use crate::graph::{Graph, GraphBuilder};
@@ -32,6 +41,9 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
     let mut declared_degrees: Vec<Option<usize>> = Vec::new();
     let mut defined_at: Vec<Option<usize>> = Vec::new();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Canonical `(min, max)` pair → defining line, for duplicate detection.
+    let mut edge_at: std::collections::HashMap<(VertexId, VertexId), usize> =
+        std::collections::HashMap::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -94,6 +106,30 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
             "e" => {
                 let u = parse_num(tok.next(), "edge endpoint")? as VertexId;
                 let v = parse_num(tok.next(), "edge endpoint")? as VertexId;
+                if u == v {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!("self-loop 'e {u} {u}' (graphs are simple)"),
+                    });
+                }
+                let n = labels.len();
+                if (u as usize) >= n || (v as usize) >= n {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "edge ({u}, {v}) references a vertex outside the declared count {n}"
+                        ),
+                    });
+                }
+                let key = (u.min(v), u.max(v));
+                if let Some(first) = edge_at.insert(key, line_no) {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "duplicate 'e' record for edge ({u}, {v}) (first on line {first})"
+                        ),
+                    });
+                }
                 edges.push((u, v));
             }
             other => {
@@ -238,6 +274,65 @@ mod tests {
     fn duplicate_vertex_record_with_identical_fields_is_still_rejected() {
         let bad = "t 1 0\nv 0 0 0\nv 0 0 0\n";
         assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn self_loop_is_rejected_with_its_line() {
+        let bad = "t 2 2\nv 0 0 2\nv 1 0 2\ne 0 1\ne 1 1\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(message.contains("self-loop"), "message: {message:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_record_is_rejected_with_both_lines() {
+        let bad = "t 2 2\nv 0 0 1\nv 1 0 1\ne 0 1\ne 0 1\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(message.contains("duplicate"), "message: {message:?}");
+                assert!(message.contains("line 4"), "message: {message:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_duplicate_edge_is_still_a_duplicate() {
+        // `e 1 0` after `e 0 1`: same undirected edge, must be rejected even
+        // though the header count (2) would also catch the dedup downstream.
+        let bad = "t 2 2\nv 0 0 1\nv 1 0 1\ne 0 1\ne 1 0\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(message.contains("duplicate"), "message: {message:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected_even_when_header_count_would_balance() {
+        // Header says 1 edge and exactly 1 distinct edge survives dedup —
+        // before the explicit guard this file parsed successfully.
+        let bad = "t 2 1\nv 0 0 1\nv 1 0 1\ne 0 1\ne 1 0\n";
+        assert!(matches!(parse_graph(bad), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn edge_endpoint_out_of_range_is_rejected_with_its_line() {
+        let bad = "t 2 1\nv 0 0 1\nv 1 0 0\ne 0 5\n";
+        match parse_graph(bad) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("declared count"), "message: {message:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl CountResult {
             CountOutcome::BudgetExhausted => None,
         }
     }
+
+    /// The count as a **lower bound** on the true number of embeddings —
+    /// exact when the search completed, the partial tally when the budget
+    /// ran out. This is the only sound reading of `count` after a
+    /// [`CountOutcome::BudgetExhausted`] run; callers that need exactness
+    /// must go through [`CountResult::exact`]. (Audited in this repo:
+    /// `workloads::ground_truth`, the CLI and the bench harness all use
+    /// `exact()`; the oracle crate asserts the bound on fuzzed cases.)
+    pub fn lower_bound(&self) -> u64 {
+        self.count
+    }
 }
 
 /// Counts embeddings of `q` in `g` with default filtering and the given
@@ -254,6 +265,9 @@ mod tests {
         assert_eq!(r.outcome, CountOutcome::BudgetExhausted);
         assert!(r.exact().is_none());
         assert!(r.expansions >= 50);
+        // The partial tally is still a valid lower bound on the true count.
+        let truth = brute_force_count(&q, &g);
+        assert!(r.lower_bound() <= truth);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Replayable `.case` files — the regression-corpus format.
+//!
+//! A case file is plain text:
+//!
+//! ```text
+//! # optional comment lines
+//! invariant filter_soundness
+//! seed 42
+//! data
+//! t 5 4
+//! v 0 1
+//! ...
+//! query
+//! t 2 1
+//! ...
+//! ```
+//!
+//! `invariant` names the check the case was minimized against (replay runs
+//! *all* invariants regardless — a fixed case must stay fixed everywhere).
+//! The `data` / `query` sections hold the standard `.graph` text format, so
+//! corpus files are inspectable with the same eyes as any dataset file.
+
+use crate::gen::Case;
+use crate::invariants::{check_all, Invariant, Oracle, Violation};
+use neursc_graph::io::{format_graph, parse_graph};
+use neursc_graph::GraphError;
+
+/// A parse failure for a `.case` file.
+#[derive(Debug)]
+pub enum CaseError {
+    /// Structural problem in the case framing.
+    Format(String),
+    /// A graph section failed to parse.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseError::Format(m) => write!(f, "case format error: {m}"),
+            CaseError::Graph(e) => write!(f, "case graph section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+impl From<GraphError> for CaseError {
+    fn from(e: GraphError) -> Self {
+        CaseError::Graph(e)
+    }
+}
+
+/// Serializes a case (and the invariant it violates) to the `.case` format.
+pub fn format_case(case: &Case, invariant: Option<Invariant>) -> String {
+    let mut out = String::new();
+    if let Some(inv) = invariant {
+        out.push_str(&format!("invariant {}\n", inv.name()));
+    }
+    out.push_str(&format!("seed {}\n", case.seed));
+    out.push_str("data\n");
+    out.push_str(&format_graph(&case.data));
+    out.push_str("query\n");
+    out.push_str(&format_graph(&case.query));
+    out
+}
+
+/// Parses a `.case` file. Returns the case and, if recorded, the invariant
+/// it was minimized against.
+pub fn parse_case(text: &str) -> Result<(Case, Option<Invariant>), CaseError> {
+    let mut invariant = None;
+    let mut seed = 0u64;
+    let mut data_lines: Vec<&str> = Vec::new();
+    let mut query_lines: Vec<&str> = Vec::new();
+    #[derive(PartialEq)]
+    enum Section {
+        Header,
+        Data,
+        Query,
+    }
+    let mut section = Section::Header;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let line_no = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match section {
+            Section::Header => {
+                if let Some(rest) = line.strip_prefix("invariant ") {
+                    invariant = Some(Invariant::parse(rest.trim()).ok_or_else(|| {
+                        CaseError::Format(format!(
+                            "line {line_no}: unknown invariant {:?}",
+                            rest.trim()
+                        ))
+                    })?);
+                } else if let Some(rest) = line.strip_prefix("seed ") {
+                    seed = rest.trim().parse().map_err(|_| {
+                        CaseError::Format(format!("line {line_no}: bad seed {:?}", rest.trim()))
+                    })?;
+                } else if line == "data" {
+                    section = Section::Data;
+                } else {
+                    return Err(CaseError::Format(format!(
+                        "line {line_no}: expected `invariant`, `seed` or `data`, got {line:?}"
+                    )));
+                }
+            }
+            Section::Data => {
+                if line == "query" {
+                    section = Section::Query;
+                } else {
+                    data_lines.push(raw);
+                }
+            }
+            Section::Query => query_lines.push(raw),
+        }
+    }
+    if section == Section::Header {
+        return Err(CaseError::Format("missing `data` section".to_string()));
+    }
+    if query_lines.is_empty() && data_lines.is_empty() {
+        return Err(CaseError::Format("empty graph sections".to_string()));
+    }
+    let data = parse_graph(&(data_lines.join("\n") + "\n"))?;
+    let query = parse_graph(&(query_lines.join("\n") + "\n"))?;
+    Ok((Case { seed, data, query }, invariant))
+}
+
+/// Replays a case against **every** invariant, returning any violations.
+/// A corpus case passing replay means the bug it once triggered is fixed
+/// and has stayed fixed.
+pub fn replay_case(text: &str, oracle: &Oracle) -> Result<Vec<Violation>, CaseError> {
+    let (case, _) = parse_case(text)?;
+    Ok(check_all(&case, oracle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn case_round_trips_through_text() {
+        for s in [0u64, 3, 17] {
+            let c = gen_case(s).unwrap();
+            let text = format_case(&c, Some(Invariant::FilterSoundness));
+            let (back, inv) = parse_case(&text).unwrap();
+            assert_eq!(inv, Some(Invariant::FilterSoundness));
+            assert_eq!(back.seed, c.seed);
+            assert_eq!(back.data, c.data);
+            assert_eq!(back.query, c.query);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let c = gen_case(1).unwrap();
+        let text = format!("# a regression case\n\n{}", format_case(&c, None));
+        let (back, inv) = parse_case(&text).unwrap();
+        assert_eq!(inv, None);
+        assert_eq!(back.data, c.data);
+    }
+
+    #[test]
+    fn malformed_cases_are_rejected() {
+        assert!(parse_case("").is_err());
+        assert!(parse_case("bogus 1\n").is_err());
+        assert!(parse_case("invariant nope\ndata\nquery\n").is_err());
+        assert!(parse_case("seed x\ndata\n").is_err());
+    }
+}

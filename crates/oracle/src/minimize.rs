@@ -1,0 +1,182 @@
+//! Greedy delta-debugging of a violating case.
+//!
+//! The vendored proptest stub has no shrinking, so the oracle carries its
+//! own: repeatedly try to drop a data vertex, a query vertex, a data edge
+//! or a query edge, keeping a mutation iff the *same invariant* still
+//! reports a violation. The result is a locally-minimal case — removing
+//! any single vertex or edge makes the bug disappear — which is what goes
+//! into the regression corpus.
+
+use crate::gen::{build_graph, Case};
+use crate::invariants::{Invariant, Oracle};
+use neursc_graph::types::{Label, VertexId};
+use neursc_graph::Graph;
+
+/// Upper bound on reduction *passes* (each pass scans every vertex and
+/// edge once). The greedy loop converges long before this on real cases;
+/// the cap only bounds pathological oscillation.
+const MAX_PASSES: usize = 32;
+
+/// Removes vertex `v` from `g`, remapping ids above it down by one and
+/// dropping incident edges. Returns `None` when the graph cannot be built
+/// (never expected for a valid input) or when `g` has a single vertex.
+fn drop_vertex(g: &Graph, v: VertexId) -> Option<Graph> {
+    if g.n_vertices() <= 1 {
+        return None;
+    }
+    let labels: Vec<Label> = g
+        .vertices()
+        .filter(|&u| u != v)
+        .map(|u| g.label(u))
+        .collect();
+    let remap = |u: VertexId| -> VertexId {
+        if u > v {
+            u - 1
+        } else {
+            u
+        }
+    };
+    let edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|e| e.u != v && e.v != v)
+        .map(|e| (remap(e.u), remap(e.v)))
+        .collect();
+    build_graph(g.n_vertices() - 1, &labels, &edges).ok()
+}
+
+/// Removes the `i`-th edge (in iteration order) from `g`.
+fn drop_edge(g: &Graph, i: usize) -> Option<Graph> {
+    let labels: Vec<Label> = g.vertices().map(|u| g.label(u)).collect();
+    let edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, e)| (e.u, e.v))
+        .collect();
+    if edges.len() == g.n_edges() {
+        return None;
+    }
+    build_graph(g.n_vertices(), &labels, &edges).ok()
+}
+
+/// Minimizes `case` with respect to `invariant`: returns the smallest case
+/// the greedy reducer reaches that still violates it. If the input does
+/// not violate the invariant (already fixed), it is returned unchanged.
+pub fn minimize_case(case: &Case, invariant: Invariant, oracle: &Oracle) -> Case {
+    minimize_with(case, &|c| invariant.check(c, oracle).is_err())
+}
+
+/// [`minimize_case`] generalized over an arbitrary "still buggy?"
+/// predicate — used by the fuzzer to shrink panic-triggering cases, where
+/// the predicate re-runs the pipeline under `catch_unwind`.
+pub fn minimize_with(case: &Case, violates: &dyn Fn(&Case) -> bool) -> Case {
+    if !violates(case) {
+        return case.clone();
+    }
+    let mut best = case.clone();
+    for _ in 0..MAX_PASSES {
+        let mut shrunk = false;
+
+        // Vertices first: dropping one removes its edges too, so this is
+        // the biggest step the reducer can take.
+        for pick_query in [true, false] {
+            let mut v = 0;
+            loop {
+                let g = if pick_query { &best.query } else { &best.data };
+                if (v as usize) >= g.n_vertices() {
+                    break;
+                }
+                if let Some(smaller) = drop_vertex(g, v) {
+                    let cand = if pick_query {
+                        Case {
+                            query: smaller,
+                            ..best.clone()
+                        }
+                    } else {
+                        Case {
+                            data: smaller,
+                            ..best.clone()
+                        }
+                    };
+                    if violates(&cand) {
+                        best = cand;
+                        shrunk = true;
+                        continue; // same index now names the next vertex
+                    }
+                }
+                v += 1;
+            }
+        }
+
+        // Then individual edges.
+        for pick_query in [true, false] {
+            let mut i = 0;
+            loop {
+                let g = if pick_query { &best.query } else { &best.data };
+                if i >= g.n_edges() {
+                    break;
+                }
+                if let Some(smaller) = drop_edge(g, i) {
+                    let cand = if pick_query {
+                        Case {
+                            query: smaller,
+                            ..best.clone()
+                        }
+                    } else {
+                        Case {
+                            data: smaller,
+                            ..best.clone()
+                        }
+                    };
+                    if violates(&cand) {
+                        best = cand;
+                        shrunk = true;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        if !shrunk {
+            break; // local minimum
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn drop_vertex_remaps_ids() {
+        let g = build_graph(4, &[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = drop_vertex(&g, 1).unwrap();
+        assert_eq!(s.n_vertices(), 3);
+        assert_eq!(s.labels(), &[0, 2, 3]);
+        assert_eq!(s.n_edges(), 1); // only (2,3) -> (1,2) survives
+        assert!(s.has_edge(1, 2));
+    }
+
+    #[test]
+    fn drop_edge_keeps_vertices() {
+        let g = build_graph(3, &[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let s = drop_edge(&g, 0).unwrap();
+        assert_eq!(s.n_vertices(), 3);
+        assert_eq!(s.n_edges(), 1);
+    }
+
+    #[test]
+    fn a_passing_case_is_returned_unchanged() {
+        let oracle = Oracle::new();
+        let c = gen_case(0).unwrap();
+        // Only invoke on an invariant this case satisfies.
+        if Invariant::FilterSoundness.check(&c, &oracle).is_ok() {
+            let m = minimize_case(&c, Invariant::FilterSoundness, &oracle);
+            assert_eq!(m.data, c.data);
+            assert_eq!(m.query, c.query);
+        }
+    }
+}

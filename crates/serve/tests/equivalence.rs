@@ -320,3 +320,34 @@ fn unix_socket_transport_serves_and_drains() {
     server.join().unwrap();
     assert!(!path.exists(), "socket file cleaned up on drain");
 }
+
+#[test]
+fn single_vertex_and_disconnected_queries_serve_correctly() {
+    let (g, _) = workload(5);
+    // A single-vertex query, one with a label absent from G, and a
+    // disconnected query (edge + isolated vertex): all must come back
+    // `ok` over the wire, bit-identical to the offline component-product
+    // routing — never a panic frame, never a spurious zero.
+    let batch = vec![
+        Graph::from_edges(1, &[0], &[]).unwrap(),
+        Graph::from_edges(1, &[99], &[]).unwrap(),
+        Graph::from_edges(3, &[0, 1, 2], &[(0, 1)]).unwrap(),
+    ];
+
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let ctx = GraphContext::new();
+    let offline = offline_model.estimate_batch(&batch, &g, &ctx);
+    assert!(
+        offline.iter().all(|r| r.is_ok()),
+        "offline baseline must accept these queries: {offline:?}"
+    );
+    // The absent-label query is trivially zero; the other two are not.
+    assert_eq!(offline[1].as_ref().unwrap().count, 0.0);
+    assert!(offline[0].as_ref().unwrap().count > 0.0);
+
+    let model = NeurSc::new(small_config(1), 42);
+    let server = serve(model, g, ServeConfig::default(), Arc::new(Recorder::new())).unwrap();
+    let served = run_pipelined(server.local_addr(), &batch);
+    server.join().unwrap();
+    assert_matches_offline(&offline, &served, "edge-shape queries");
+}

@@ -23,6 +23,7 @@ use neursc::core::{
 use neursc::graph::io::{load_graph, save_graph};
 use neursc::graph::{Graph, GraphError};
 use neursc::matching::count_embeddings;
+use neursc::oracle::fuzz::{run_fuzz_with, FuzzConfig};
 use neursc::serve::{serve, Listen, ServeConfig};
 use neursc::workloads::datasets::{dataset, DatasetId};
 use neursc::workloads::queries::{build_query_set, QuerySetConfig};
@@ -152,6 +153,7 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "serve" => cmd_serve(&opts),
+        "fuzz" => cmd_fuzz(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -184,6 +186,7 @@ USAGE:
                       [--max-pending N] [--max-frame-bytes B]
                       [--max-query-vertices V] [--cache-capacity C]
                       [--chaos-panic SEQS] [--chaos-starve SEQS] [OBS]
+  neursc-cli fuzz     [--cases N] [--seed S] [--minimize] [--out-dir DIR]
 
   OBS: [--trace-json FILE] [--metrics-json FILE] [--trace-time canonical|wall]
 
@@ -210,6 +213,12 @@ worker panic / starved filter budget (fault-injection testing).
 when a query exceeds it); --inject-panic I trips a contained panic on item I
 (exit 7 on estimate, a reported exclusion on evaluate).
 
+fuzz runs the differential soundness oracle: N seeded random cases checked
+against the exact enumerator (filter soundness, extraction count
+preservation, metamorphic invariances — see DESIGN.md §11). --minimize
+delta-debugs each violating case before reporting; --out-dir writes
+violations as replayable .case files. Exit 0 iff every case passed.
+
 Exit codes: 0 success, 1 other failure, 2 usage, 3 input parse error,
 4 I/O error, 5 model-file corruption, 6 resource budget exhausted,
 7 contained worker panic.";
@@ -223,11 +232,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        out.insert(key.to_string(), value.clone());
-        i += 2;
+        // Bare boolean flags carry no value; everything else requires one
+        // (a value-less `--data` stays a usage error, not an empty path).
+        const BOOL_FLAGS: &[&str] = &["minimize"];
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_string(), String::new());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            out.insert(key.to_string(), value.clone());
+            i += 2;
+        }
     }
     Ok(out)
 }
@@ -417,7 +434,8 @@ fn cmd_count(opts: &Opts) -> Result<(), CliError> {
         None => {
             println!(
                 "budget exhausted after {} expansions (≥ {})",
-                r.expansions, r.count
+                r.expansions,
+                r.lower_bound()
             );
             return Err(CliError::other("count exceeds budget"));
         }
@@ -615,4 +633,68 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         .map_err(|e| CliError::other(format!("serve: {e}")))?;
     obs.export()?;
     Ok(())
+}
+
+fn cmd_fuzz(opts: &Opts) -> Result<(), CliError> {
+    let cfg = FuzzConfig {
+        cases: num(opts, "cases", 100u64)?,
+        seed: num(opts, "seed", 42u64)?,
+        minimize: opts.contains_key("minimize"),
+    };
+    let out_dir = opts.get("out-dir").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::io(format!("create {}: {e}", dir.display())))?;
+    }
+
+    println!(
+        "fuzzing {} cases (seed {}, minimize: {})",
+        cfg.cases, cfg.seed, cfg.minimize
+    );
+    let report = run_fuzz_with(&cfg, &mut |i, violations| {
+        if (i + 1) % 100 == 0 {
+            println!(
+                "  {} / {} cases, {} violations",
+                i + 1,
+                cfg.cases,
+                violations
+            );
+        }
+    });
+
+    for (k, outcome) in report.outcomes.iter().enumerate() {
+        eprintln!(
+            "violation {} (case {}, seed {}): {}",
+            k + 1,
+            outcome.index,
+            outcome.case_seed,
+            outcome.violation
+        );
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!(
+                "{}-{}.case",
+                outcome.violation.invariant, outcome.case_seed
+            ));
+            std::fs::write(&path, &outcome.case_text)
+                .map_err(|e| CliError::io(format!("write {}: {e}", path.display())))?;
+            eprintln!("  written to {}", path.display());
+        }
+    }
+    if report.gen_failures > 0 {
+        eprintln!("{} cases failed to generate", report.gen_failures);
+    }
+    println!(
+        "{} cases checked: {} violations",
+        report.cases_run,
+        report.outcomes.len()
+    );
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError::other(format!(
+            "{} invariant violations (run `neursc-cli fuzz --seed {} --minimize` to shrink)",
+            report.outcomes.len(),
+            cfg.seed
+        )))
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`baselines`] | `neursc-baselines` | CSet, SumRDF, CS, WJ, JSUB, LSS, NSIC |
 //! | [`workloads`] | `neursc-workloads` | datasets, queries, ground truth |
 //! | [`serve`] | `neursc-serve` | resident estimator daemon (JSON over TCP/Unix) |
+//! | [`oracle`] | `neursc-oracle` | differential soundness fuzzer + regression corpus |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use neursc_gnn as gnn;
 pub use neursc_graph as graph;
 pub use neursc_match as matching;
 pub use neursc_nn as nn;
+pub use neursc_oracle as oracle;
 pub use neursc_serve as serve;
 pub use neursc_workloads as workloads;
 

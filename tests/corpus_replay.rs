@@ -1,0 +1,68 @@
+//! Replays the regression corpus under `tests/corpus/` through every
+//! oracle invariant. Each `.case` file is a minimized reproduction of a
+//! bug the differential fuzzer (or a hand analysis) once flushed out; a
+//! failure here means a fixed bug has come back.
+
+use neursc::oracle::case::{parse_case, replay_case};
+use neursc::oracle::invariants::Oracle;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty_and_parseable() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 5,
+        "expected at least 5 corpus cases, found {}",
+        files.len()
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("corpus file must be readable");
+        let (case, invariant) = parse_case(&text)
+            .unwrap_or_else(|e| panic!("{}: failed to parse: {e}", path.display()));
+        assert!(
+            invariant.is_some(),
+            "{}: corpus cases must name the invariant they regress",
+            path.display()
+        );
+        assert!(case.data.check_invariants(), "{}", path.display());
+        assert!(case.query.check_invariants(), "{}", path.display());
+    }
+}
+
+#[test]
+fn every_corpus_case_passes_every_invariant() {
+    let oracle = Oracle::new();
+    let mut failures = Vec::new();
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("corpus file must be readable");
+        match replay_case(&text, &oracle) {
+            Ok(violations) => {
+                for v in violations {
+                    failures.push(format!("{}: {v}", path.display()));
+                }
+            }
+            Err(e) => failures.push(format!("{}: replay error: {e}", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}
