@@ -13,12 +13,19 @@
 //! 3. **Pipelined** — the same client firing the whole request set
 //!    before reading replies, which lets the micro-batcher coalesce;
 //!    reports throughput and the mean batch size it achieved.
+//! 4. **Restart** — the crash-recovery drill: restart the daemon
+//!    `--restarts` times, once restoring the warm-state snapshot the
+//!    previous incarnation wrote at drain and once rebuilding cold, and
+//!    time the *first* reply of each incarnation (`restore_p50_ms` vs
+//!    `cold_p50_ms`). This is the latency a retrying client sees across
+//!    a supervised restart.
 //!
 //! The acceptance target is warm ≥ 5× cold on p50 latency. The margin
 //! comes from amortizing graph/model load and profile construction
 //! across requests — the daemon pays them once, the cold path per query.
 //!
-//! Usage: `bench_serve [--requests 64] [--cold-requests 8] [--queries 16]`.
+//! Usage: `bench_serve [--requests 64] [--cold-requests 8] [--queries 16]
+//!                     [--restarts 5]`.
 
 use neursc_core::persist::{load_model, save_model};
 use neursc_core::{GraphContext, NeurSc, NeurScConfig, Recorder};
@@ -95,6 +102,9 @@ fn main() {
     let n_queries: usize = flag(&args, "--queries")
         .and_then(|v| v.parse().ok())
         .unwrap_or(16);
+    let n_restarts: usize = flag(&args, "--restarts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
 
     // Same shape as bench_pipeline: a data graph whose profile build
     // dominates a single query, so residency has something to amortize.
@@ -148,9 +158,15 @@ fn main() {
     );
 
     // --- resident daemon --------------------------------------------------
+    // The daemon writes a warm-state snapshot at drain; the restart drill
+    // below restores from it.
+    let snap_path = dir.join("warm.snap");
     let recorder = Arc::new(Recorder::new());
-    let server =
-        serve(model, g.clone(), ServeConfig::default(), recorder.clone()).expect("start daemon");
+    let serve_cfg = ServeConfig {
+        snapshot_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = serve(model, g.clone(), serve_cfg, recorder.clone()).expect("start daemon");
     let mut c = Client::connect_tcp(server.local_addr()).expect("connect");
 
     // Warm-up: touch every query once so profile + feature caches are hot
@@ -236,6 +252,50 @@ fn main() {
         cold.p99_ms
     );
 
+    // --- 4. restart drill: snapshot restore vs cold rebuild ---------------
+    // First-reply latency of a freshly (re)started daemon — the number a
+    // retrying client sees across a supervised restart. With the snapshot
+    // the caches come back warm; without it the first request pays the
+    // full profile rebuild.
+    assert!(snap_path.exists(), "drain must have written the snapshot");
+    let first_reply = |snapshot: Option<&std::path::Path>| -> u64 {
+        let cfg = ServeConfig {
+            snapshot_path: snapshot.map(|p| p.to_path_buf()),
+            ..ServeConfig::default()
+        };
+        let server =
+            serve(make_model(), g.clone(), cfg, Arc::new(Recorder::new())).expect("restart daemon");
+        let mut c = Client::connect_tcp(server.local_addr()).expect("reconnect");
+        let t = Instant::now();
+        let r = c
+            .request(&client::estimate_request(0, &queries[0]))
+            .expect("first reply");
+        let ns = t.elapsed().as_nanos() as u64;
+        assert!(r.contains("\"ok\":true"), "{r}");
+        c.send_line(&client::shutdown_request(1)).expect("shutdown");
+        let _ = c.recv_line();
+        server.join().expect("drain");
+        ns
+    };
+    let mut restore_ns = Vec::with_capacity(n_restarts);
+    let mut cold_start_ns = Vec::with_capacity(n_restarts);
+    for _ in 0..n_restarts {
+        restore_ns.push(first_reply(Some(&snap_path)));
+        // The restored daemon drains and rewrites the snapshot, so the
+        // next iteration restores an equivalent file; the cold run gets
+        // no snapshot at all.
+        cold_start_ns.push(first_reply(None));
+    }
+    restore_ns.sort_unstable();
+    cold_start_ns.sort_unstable();
+    let restore_p50_ms = percentile(&restore_ns, 50.0);
+    let cold_start_p50_ms = percentile(&cold_start_ns, 50.0);
+    println!(
+        "restart:   first reply p50 {restore_p50_ms:.3} ms restored vs \
+         {cold_start_p50_ms:.3} ms cold ({:.1}x, {n_restarts} restarts each)",
+        cold_start_p50_ms / restore_p50_ms.max(1e-9)
+    );
+
     let speedup = cold.p50_ms / warm.p50_ms.max(1e-9);
     let target_met = speedup >= 5.0;
     println!(
@@ -268,7 +328,10 @@ fn main() {
         n_requests as f64 / pipelined_s.max(1e-9)
     );
     let _ = writeln!(out, "  \"warm_vs_cold_p50_speedup\": {speedup:.2},");
-    let _ = writeln!(out, "  \"warm_target_5x_met\": {target_met}");
+    let _ = writeln!(out, "  \"warm_target_5x_met\": {target_met},");
+    let _ = writeln!(out, "  \"restarts\": {n_restarts},");
+    let _ = writeln!(out, "  \"restore_p50_ms\": {restore_p50_ms:.3},");
+    let _ = writeln!(out, "  \"cold_p50_ms\": {cold_start_p50_ms:.3}");
     out.push_str("}\n");
 
     let path = std::env::var("NEURSC_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

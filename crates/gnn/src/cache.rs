@@ -28,6 +28,17 @@ struct CacheEntry {
     last_used: AtomicU64,
 }
 
+/// One exported cache entry — see [`FeatureCache::export_entries`].
+#[derive(Debug, Clone)]
+pub struct FeatureExport {
+    /// Content fingerprint of the featurized graph.
+    pub fingerprint: u64,
+    /// Feature configuration the entry was computed under.
+    pub config: FeatureConfig,
+    /// The cached feature matrix (shared, not copied).
+    pub features: Arc<Tensor>,
+}
+
 /// Thread-safe `(graph, feature config) → init_features` cache.
 #[derive(Debug, Default)]
 pub struct FeatureCache {
@@ -134,6 +145,48 @@ impl FeatureCache {
         computed
     }
 
+    /// The active capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            c => Some(c),
+        }
+    }
+
+    /// Every cached entry, least recently used first, so replaying the
+    /// list through [`Self::import`] into an empty cache reproduces the
+    /// same LRU ordering (and therefore the same future eviction order).
+    /// Values are shared (`Arc`), not copied — the warm-state export half
+    /// of snapshot/restore for resident servers.
+    pub fn export_entries(&self) -> Vec<FeatureExport> {
+        let entries = self.entries.read();
+        let mut ordered: Vec<&CacheEntry> = entries.iter().collect();
+        ordered.sort_by_key(|e| e.last_used.load(Ordering::Relaxed));
+        ordered
+            .into_iter()
+            .map(|e| FeatureExport {
+                fingerprint: e.fingerprint,
+                config: e.config,
+                features: Arc::clone(&e.features),
+            })
+            .collect()
+    }
+
+    /// Inserts a precomputed entry — the warm-state restore half of
+    /// snapshot/restore. Routes through the normal insert path: an entry
+    /// already present is shared rather than replaced, and the capacity
+    /// bound evicts the least-recently-used entry as usual.
+    pub fn import(&self, fingerprint: u64, config: &FeatureConfig, features: Arc<Tensor>) {
+        let _ = self.insert_or_share(fingerprint, config, features);
+    }
+
+    /// Overwrites the lifetime eviction counter, so a restored server's
+    /// `cache.*.evicted` series continues where the snapshot left off
+    /// instead of restarting from zero.
+    pub fn restore_evicted_total(&self, evicted: u64) {
+        self.evicted.store(evicted, Ordering::Relaxed);
+    }
+
     /// Number of memoized `(graph, config)` entries.
     pub fn len(&self) -> usize {
         self.entries.read().len()
@@ -212,6 +265,35 @@ mod tests {
         }
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.evicted_total(), 0);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_entries_and_counters() {
+        let cache = FeatureCache::with_capacity(2);
+        let cfg = FeatureConfig::default();
+        let g1 = Graph::from_edges(2, &[0, 1], &[(0, 1)]).unwrap();
+        let g2 = Graph::from_edges(3, &[0, 1, 2], &[(0, 1)]).unwrap();
+        let g3 = Graph::from_edges(4, &[0, 1, 2, 3], &[(0, 1)]).unwrap();
+        let _ = cache.features(&g1, &cfg);
+        let _ = cache.features(&g2, &cfg);
+        let _ = cache.features(&g3, &cfg); // evicts g1
+        assert_eq!(cache.evicted_total(), 1);
+
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 2);
+        let restored = FeatureCache::with_capacity(2);
+        for e in &exported {
+            restored.import(e.fingerprint, &e.config, Arc::clone(&e.features));
+        }
+        restored.restore_evicted_total(cache.evicted_total());
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.capacity(), Some(2));
+        assert_eq!(restored.evicted_total(), 1);
+        // A hit on a restored entry shares the imported allocation.
+        assert!(Arc::ptr_eq(
+            &exported[1].features,
+            &restored.features(&g3, &cfg)
+        ));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod readout;
 pub mod softmax;
 
 pub use attention::{AttentionConfig, BipartiteAttention};
-pub use cache::FeatureCache;
+pub use cache::{FeatureCache, FeatureExport};
 pub use edges::EdgeList;
 pub use features::{init_features, FeatureConfig};
 pub use gin::{GinConfig, GinStack};

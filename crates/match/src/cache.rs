@@ -32,6 +32,17 @@ struct CacheEntry {
     last_used: AtomicU64,
 }
 
+/// One exported cache entry — see [`ProfileCache::export_entries`].
+#[derive(Debug, Clone)]
+pub struct ProfileExport {
+    /// Content fingerprint of the profiled graph.
+    pub fingerprint: u64,
+    /// Profile radius the entry was computed at.
+    pub radius: u32,
+    /// The cached profiles (shared, not copied).
+    pub profiles: Arc<Vec<Profile>>,
+}
+
 /// Thread-safe `(graph, radius) → all_profiles` cache.
 ///
 /// Readers take a shared lock; a miss computes outside any lock and then
@@ -139,6 +150,48 @@ impl ProfileCache {
             }
         }
         computed
+    }
+
+    /// The active capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            c => Some(c),
+        }
+    }
+
+    /// Every cached entry, least recently used first, so replaying the
+    /// list through [`Self::import`] into an empty cache reproduces the
+    /// same LRU ordering (and therefore the same future eviction order).
+    /// Values are shared (`Arc`), not copied — this is the warm-state
+    /// export half of snapshot/restore for resident servers.
+    pub fn export_entries(&self) -> Vec<ProfileExport> {
+        let entries = self.entries.read();
+        let mut ordered: Vec<&CacheEntry> = entries.iter().collect();
+        ordered.sort_by_key(|e| e.last_used.load(Ordering::Relaxed));
+        ordered
+            .into_iter()
+            .map(|e| ProfileExport {
+                fingerprint: e.fingerprint,
+                radius: e.radius,
+                profiles: Arc::clone(&e.profiles),
+            })
+            .collect()
+    }
+
+    /// Inserts a precomputed entry — the warm-state restore half of
+    /// snapshot/restore. Routes through the normal insert path: an entry
+    /// already present is shared rather than replaced, and the capacity
+    /// bound evicts the least-recently-used entry as usual.
+    pub fn import(&self, fingerprint: u64, radius: u32, profiles: Arc<Vec<Profile>>) {
+        let _ = self.insert_or_share(fingerprint, radius, profiles);
+    }
+
+    /// Overwrites the lifetime eviction counter, so a restored server's
+    /// `cache.*.evicted` series continues where the snapshot left off
+    /// instead of restarting from zero.
+    pub fn restore_evicted_total(&self, evicted: u64) {
+        self.evicted.store(evicted, Ordering::Relaxed);
     }
 
     /// Whether `(g, r)` is already memoized, without computing anything.
@@ -284,6 +337,40 @@ mod tests {
         let _ = cache.profiles(&g, 4);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evicted_total(), 2);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_entries_and_lru_order() {
+        let cache = ProfileCache::with_capacity(2);
+        let g = paper_data_graph();
+        let _ = cache.profiles(&g, 1);
+        let _ = cache.profiles(&g, 2);
+        let _ = cache.profiles(&g, 1); // touch r=1 → r=2 is now LRU
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].radius, 2, "LRU entry exports first");
+        assert_eq!(exported[1].radius, 1);
+
+        let restored = ProfileCache::with_capacity(2);
+        for e in &exported {
+            restored.import(e.fingerprint, e.radius, Arc::clone(&e.profiles));
+        }
+        restored.restore_evicted_total(cache.evicted_total());
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.evicted_total(), cache.evicted_total());
+        assert_eq!(restored.capacity(), Some(2));
+        // Imported values are shared, and an insert evicts the same LRU
+        // victim (r=2) the original would have chosen.
+        assert!(Arc::ptr_eq(
+            &exported[1].profiles,
+            &restored.profiles(&g, 1)
+        ));
+        let _ = restored.profiles(&g, 3);
+        assert!(
+            !restored.contains(&g, 2),
+            "restored LRU order drives eviction"
+        );
+        assert!(restored.contains(&g, 1));
     }
 
     #[test]

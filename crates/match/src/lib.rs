@@ -28,7 +28,7 @@ pub mod refinement;
 pub mod treedp;
 
 pub use budget::{FilterBudget, FilterError, FilterPhase, WorkMeter};
-pub use cache::ProfileCache;
+pub use cache::{ProfileCache, ProfileExport};
 pub use candidates::CandidateSets;
 pub use enumerate::{count_embeddings, CountOutcome, CountResult};
 pub use filter::{

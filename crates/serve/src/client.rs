@@ -5,6 +5,13 @@
 //! request per [`Client::request`] call, or pipeline freely with
 //! [`Client::send_line`] / [`Client::recv_line`] and match responses to
 //! requests by `id`.
+//!
+//! [`RetryClient`] wraps a [`Client`] with reconnect + exponential
+//! backoff (deterministic seeded jitter) on *transient* failures —
+//! `overloaded` frames, connection reset/refused, EOF mid-reply — and
+//! attaches a per-request idempotency seqno (`idem`) that the server
+//! deduplicates on, so a retry after a reconnect is never processed
+//! twice and a reply is never mis-attributed.
 
 use crate::conn::Stream;
 use crate::json::Json;
@@ -14,8 +21,19 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Read timeout applied when a request carries no deadline: long enough
+/// for any sane batch, short enough that a wedged server fails a test
+/// instead of hanging it.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Slack added on top of a request's `deadline_ms` when deriving the read
+/// timeout: covers queueing, batching and the reply's round trip. A dead
+/// server is then detected in `deadline + slack` rather than the old
+/// fixed 30 s.
+pub const DEADLINE_SLACK: Duration = Duration::from_secs(2);
 
 /// A blocking line-protocol client.
 #[derive(Debug)]
@@ -25,8 +43,9 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects over TCP (`host:port`). Reads time out after 30 s so a
-    /// wedged server fails a test instead of hanging it.
+    /// Connects over TCP (`host:port`). Reads time out after 30 s by
+    /// default; deadline-carrying requests tighten this via
+    /// [`Client::request_deadline`].
     pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
         let s = TcpStream::connect(addr)?;
         s.set_nodelay(true)?;
@@ -34,7 +53,7 @@ impl Client {
             stream: Stream::Tcp(s),
             buf: Vec::new(),
         };
-        c.stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        c.stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         Ok(c)
     }
 
@@ -46,8 +65,13 @@ impl Client {
             stream: Stream::Unix(s),
             buf: Vec::new(),
         };
-        c.stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        c.stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         Ok(c)
+    }
+
+    /// Overrides how long a single read may block (`None` = forever).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(dur)
     }
 
     /// Sends one frame (the newline is appended here).
@@ -93,6 +117,234 @@ impl Client {
         self.send_line(line)?;
         self.recv_line()
     }
+
+    /// [`Client::request`] with the read timeout derived from the
+    /// request's own deadline (`deadline_ms` + [`DEADLINE_SLACK`]) instead
+    /// of the fixed default — a dead server surfaces promptly for
+    /// tight-deadline requests.
+    pub fn request_deadline(
+        &mut self,
+        line: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<String> {
+        let timeout = deadline_ms
+            .map(|ms| Duration::from_millis(ms) + DEADLINE_SLACK)
+            .unwrap_or(DEFAULT_READ_TIMEOUT);
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.request(line)
+    }
+}
+
+/// Where a [`RetryClient`] (re)connects to.
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Retry knobs for [`RetryClient`]. Backoff is exponential from
+/// `backoff_base` up to `backoff_cap`, with deterministic jitter seeded
+/// by `jitter_seed` (up to +25% per delay) so a fleet of clients with
+/// distinct seeds never reconnects in lockstep — and a test with a fixed
+/// seed replays the exact same schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per request before the last error is returned.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per failed attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// A [`Client`] that survives server restarts: reconnects and retries on
+/// transient failures, and stamps every estimate request with an
+/// idempotency seqno so the server can deduplicate retries.
+#[derive(Debug)]
+pub struct RetryClient {
+    target: Target,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    /// xorshift64 state for the jitter stream.
+    rng: u64,
+    /// Next idempotency seqno to stamp.
+    next_idem: u64,
+}
+
+/// Whether an I/O error is worth a reconnect + retry: the connection
+/// dying (reset, EOF mid-reply, refused while the server restarts) or a
+/// read timing out, as opposed to a protocol-level failure.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotFound
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl RetryClient {
+    /// A retrying client for a TCP address.
+    pub fn tcp(addr: &str, policy: RetryPolicy) -> RetryClient {
+        Self::new(Target::Tcp(addr.to_string()), policy)
+    }
+
+    /// A retrying client for a Unix-domain socket path.
+    #[cfg(unix)]
+    pub fn unix(path: &Path, policy: RetryPolicy) -> RetryClient {
+        Self::new(Target::Unix(path.to_path_buf()), policy)
+    }
+
+    fn new(target: Target, policy: RetryPolicy) -> RetryClient {
+        let rng = policy.jitter_seed.max(1); // xorshift must not be 0
+        RetryClient {
+            target,
+            policy,
+            conn: None,
+            rng,
+            next_idem: 1,
+        }
+    }
+
+    /// Estimates one query with retries; `id` is the correlation id for
+    /// the frame, budgets as in [`estimate_request_with`]. Returns the
+    /// reply frame (which may still be a typed *non-transient* error).
+    pub fn estimate(
+        &mut self,
+        id: u64,
+        query: &Graph,
+        deadline_ms: Option<u64>,
+        max_filter_steps: Option<u64>,
+    ) -> std::io::Result<String> {
+        let idem = self.next_idem;
+        self.next_idem += 1;
+        let frame = estimate_request_idem(id, query, deadline_ms, max_filter_steps, Some(idem));
+        self.request_idem(&frame, idem, deadline_ms)
+    }
+
+    /// Estimates a batch of queries with retries.
+    pub fn estimate_batch(&mut self, id: u64, queries: &[Graph]) -> std::io::Result<String> {
+        let idem = self.next_idem;
+        self.next_idem += 1;
+        let frame = estimate_batch_request_idem(id, queries, Some(idem));
+        self.request_idem(&frame, idem, None)
+    }
+
+    /// The retry loop: send the *same* frame (same `idem`) until a
+    /// non-transient reply arrives or attempts run out. Replies carrying a
+    /// different `idem` than ours are impossible on a fresh connection
+    /// (strict request/reply per connection) and are treated as a hard
+    /// protocol error rather than silently mis-attributed.
+    fn request_idem(
+        &mut self,
+        frame: &str,
+        idem: u64,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<String> {
+        let mut last_err = std::io::Error::other("retry loop made no attempt");
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            let conn = match self.connect() {
+                Ok(c) => c,
+                Err(e) if is_transient_io(&e) => {
+                    last_err = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match conn.request_deadline(frame, deadline_ms) {
+                Ok(reply) => {
+                    if let Ok(v) = crate::json::parse(&reply) {
+                        if let Some(echo) = v.get("idem").and_then(Json::as_u64) {
+                            if echo != idem {
+                                self.conn = None;
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    format!("reply for idem {echo}, expected {idem}"),
+                                ));
+                            }
+                        }
+                        let kind = v.get("kind").and_then(Json::as_str);
+                        if v.get("ok").and_then(Json::as_bool) == Some(false)
+                            && matches!(kind, Some("overloaded") | Some("draining"))
+                        {
+                            // Typed transient rejection: back off and retry
+                            // the same idem.
+                            last_err = std::io::Error::other(format!(
+                                "transient server rejection: {}",
+                                kind.unwrap_or("?")
+                            ));
+                            continue;
+                        }
+                    }
+                    return Ok(reply);
+                }
+                Err(e) if is_transient_io(&e) => {
+                    // The connection is in an unknown state (a reply may
+                    // be half-read): drop it and reconnect.
+                    self.conn = None;
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let c = match &self.target {
+                Target::Tcp(addr) => Client::connect_tcp(addr)?,
+                #[cfg(unix)]
+                Target::Unix(path) => Client::connect_unix(path)?,
+            };
+            self.conn = Some(c);
+        }
+        self.conn
+            .as_mut()
+            .ok_or_else(|| std::io::Error::other("unreachable: connection just set"))
+    }
+
+    /// Exponential backoff with deterministic jitter: `base · 2^(n-1)`
+    /// capped, plus up to +25% from the seeded xorshift stream.
+    fn backoff(&mut self, failures: u32) -> Duration {
+        let factor = 1u32
+            .checked_shl(failures.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        let base = self
+            .policy
+            .backoff_base
+            .checked_mul(factor)
+            .map_or(self.policy.backoff_cap, |d| d.min(self.policy.backoff_cap));
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        base + base.mul_f64((x % 256) as f64 / 1024.0)
+    }
 }
 
 /// Builds an `estimate` request frame.
@@ -121,15 +373,58 @@ pub fn estimate_request_with(
     Json::Obj(fields).render()
 }
 
+/// Builds an `estimate` request frame carrying an idempotency seqno.
+pub fn estimate_request_idem(
+    id: u64,
+    query: &Graph,
+    deadline_ms: Option<u64>,
+    max_filter_steps: Option<u64>,
+    idem: Option<u64>,
+) -> String {
+    let mut fields = vec![
+        ("verb".to_string(), Json::Str("estimate".into())),
+        ("id".to_string(), Json::Num(id as f64)),
+        ("query".to_string(), graph_to_json(query)),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(ms as f64)));
+    }
+    if let Some(steps) = max_filter_steps {
+        fields.push(("max_filter_steps".into(), Json::Num(steps as f64)));
+    }
+    if let Some(n) = idem {
+        fields.push(("idem".into(), Json::Num(n as f64)));
+    }
+    Json::Obj(fields).render()
+}
+
 /// Builds an `estimate_batch` request frame.
 pub fn estimate_batch_request(id: u64, queries: &[Graph]) -> String {
-    Json::Obj(vec![
-        ("verb".into(), Json::Str("estimate_batch".into())),
-        ("id".into(), Json::Num(id as f64)),
+    estimate_batch_request_idem(id, queries, None)
+}
+
+/// Builds an `estimate_batch` request frame carrying an idempotency
+/// seqno.
+pub fn estimate_batch_request_idem(id: u64, queries: &[Graph], idem: Option<u64>) -> String {
+    let mut fields = vec![
+        ("verb".to_string(), Json::Str("estimate_batch".into())),
+        ("id".to_string(), Json::Num(id as f64)),
         (
-            "queries".into(),
+            "queries".to_string(),
             Json::Arr(queries.iter().map(graph_to_json).collect()),
         ),
+    ];
+    if let Some(n) = idem {
+        fields.push(("idem".into(), Json::Num(n as f64)));
+    }
+    Json::Obj(fields).render()
+}
+
+/// Builds a `snapshot` request frame (force a warm-state snapshot write).
+pub fn snapshot_request(id: u64) -> String {
+    Json::Obj(vec![
+        ("verb".into(), Json::Str("snapshot".into())),
+        ("id".into(), Json::Num(id as f64)),
     ])
     .render()
 }

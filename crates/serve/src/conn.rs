@@ -2,8 +2,9 @@
 //!
 //! The daemon is std-only networking by design (the build environment is
 //! offline, so no tokio/mio): blocking sockets, one reader thread per
-//! connection, timeouts used as a polling interval so every thread
-//! observes the drain flag promptly.
+//! connection. Drain does not poll: shutting the socket down
+//! ([`Stream::shutdown`]) wakes any blocked reader immediately, so
+//! graceful shutdown completes in milliseconds.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -49,6 +50,19 @@ impl Stream {
             Stream::Tcp(s) => s.set_nodelay(true),
             #[cfg(unix)]
             Stream::Unix(_) => Ok(()),
+        }
+    }
+
+    /// Shuts down both directions of the socket. This is the drain wakeup:
+    /// a reader thread blocked in `read` on any clone of this socket
+    /// returns immediately (EOF or an error), so graceful shutdown does
+    /// not wait out a poll interval. Errors are reported but typically
+    /// ignorable — an already-dead socket is already woken.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 

@@ -45,11 +45,14 @@
 
 pub mod client;
 pub mod conn;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
+pub mod supervise;
 
-pub use client::Client;
+pub use client::{Client, RetryClient, RetryPolicy};
 pub use json::Json;
 pub use proto::{parse_request, Request, RequestError};
 pub use server::{serve, Listen, ServeConfig, Server};

@@ -14,10 +14,19 @@
 //! ```
 //!
 //! Verbs: `estimate`, `estimate_batch` (a `queries` array, one result per
-//! slot), `reload_model` (`path`), `stats`, `shutdown`. Every failure is a
-//! typed error frame `{"ok":false,"id":…,"kind":…,"detail":…}`; the
-//! `kind` vocabulary mirrors [`NeurScError`] plus the transport-level
-//! kinds `parse`, `too_large`, `overloaded` and `draining`.
+//! slot), `reload_model` (`path`), `stats`, `snapshot` (force a warm-state
+//! snapshot write), `shutdown`. Every failure is a typed error frame
+//! `{"ok":false,"id":…,"kind":…,"detail":…}`; the `kind` vocabulary
+//! mirrors [`NeurScError`] plus the transport-level kinds `parse`,
+//! `too_large`, `overloaded`, `draining` and `crash_suspect` (the request
+//! digest is quarantined after being implicated in consecutive worker
+//! crashes — see `journal`).
+//!
+//! Estimate verbs may carry a client-chosen idempotency seqno `idem`
+//! (distinct from `id`): the server deduplicates on `(idem, query digest)`
+//! and echoes `idem` in the reply, so a client that reconnects and
+//! retries after a transport failure can never have its request processed
+//! twice nor mis-attribute a reply.
 
 use crate::json::{self, Json};
 use neursc_core::{EstimateDetail, NeurScError};
@@ -37,6 +46,8 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Per-request deterministic filtering step cap.
         max_filter_steps: Option<u64>,
+        /// Client idempotency seqno (echoed; retries deduplicate on it).
+        idem: Option<u64>,
     },
     /// Estimate several queries; the response carries one result per slot.
     EstimateBatch {
@@ -48,6 +59,8 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Step cap applied to every query in the batch.
         max_filter_steps: Option<u64>,
+        /// Client idempotency seqno (echoed; retries deduplicate on it).
+        idem: Option<u64>,
     },
     /// Atomically swap in a new model from a checksummed model file.
     ReloadModel {
@@ -58,6 +71,12 @@ pub enum Request {
     },
     /// Report server counters, queue depth and the active model checksum.
     Stats {
+        /// Client correlation id, echoed in the response.
+        id: Json,
+    },
+    /// Force an immediate warm-state snapshot write (no-op error if the
+    /// server was started without a snapshot path).
+    Snapshot {
         /// Client correlation id, echoed in the response.
         id: Json,
     },
@@ -127,12 +146,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             let query = graph_from_json(qv).map_err(|e| fail(e.0, e.1))?;
             let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
             let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
+            let idem = opt_u64(&v, "idem").map_err(|e| fail(e.0, e.1))?;
             let _ = &fail;
             Ok(Request::Estimate {
                 id,
                 query,
                 deadline_ms,
                 max_filter_steps,
+                idem,
             })
         }
         "estimate_batch" => {
@@ -148,12 +169,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             }
             let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
             let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
+            let idem = opt_u64(&v, "idem").map_err(|e| fail(e.0, e.1))?;
             let _ = &fail;
             Ok(Request::EstimateBatch {
                 id,
                 queries,
                 deadline_ms,
                 max_filter_steps,
+                idem,
             })
         }
         "reload_model" => {
@@ -167,6 +190,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             })
         }
         "stats" => Ok(Request::Stats { id }),
+        "snapshot" => Ok(Request::Snapshot { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail("parse", format!("unknown verb {other:?}"))),
     }
@@ -276,33 +300,59 @@ pub fn result_to_json(r: &Result<EstimateDetail, NeurScError>) -> Json {
 
 /// Renders the response frame for a single `estimate` request.
 pub fn render_result(id: &Json, r: &Result<EstimateDetail, NeurScError>) -> String {
+    render_result_idem(id, None, r)
+}
+
+/// [`render_result`] with the request's idempotency seqno echoed (when it
+/// sent one), so a retrying client can match the reply to its retry.
+pub fn render_result_idem(
+    id: &Json,
+    idem: Option<u64>,
+    r: &Result<EstimateDetail, NeurScError>,
+) -> String {
     let mut obj = match result_to_json(r) {
         Json::Obj(fields) => fields,
         _ => Vec::new(),
     };
     obj.insert(1, ("id".into(), id.clone()));
+    if let Some(n) = idem {
+        obj.insert(2, ("idem".into(), Json::Num(n as f64)));
+    }
     Json::Obj(obj).render()
 }
 
 /// Renders the response frame for an `estimate_batch` request.
 pub fn render_batch(id: &Json, items: Vec<Json>) -> String {
-    Json::Obj(vec![
-        ("ok".into(), Json::Bool(true)),
-        ("id".into(), id.clone()),
-        ("results".into(), Json::Arr(items)),
-    ])
-    .render()
+    render_batch_idem(id, None, items)
+}
+
+/// [`render_batch`] with the request's idempotency seqno echoed.
+pub fn render_batch_idem(id: &Json, idem: Option<u64>, items: Vec<Json>) -> String {
+    let mut fields = vec![("ok".into(), Json::Bool(true)), ("id".into(), id.clone())];
+    if let Some(n) = idem {
+        fields.push(("idem".into(), Json::Num(n as f64)));
+    }
+    fields.push(("results".into(), Json::Arr(items)));
+    Json::Obj(fields).render()
 }
 
 /// Renders a typed error frame.
 pub fn render_error(id: &Json, kind: &str, detail: &str) -> String {
-    Json::Obj(vec![
+    render_error_idem(id, None, kind, detail)
+}
+
+/// [`render_error`] with the request's idempotency seqno echoed.
+pub fn render_error_idem(id: &Json, idem: Option<u64>, kind: &str, detail: &str) -> String {
+    let mut fields = vec![
         ("ok".into(), Json::Bool(false)),
         ("id".into(), id.clone()),
         ("kind".into(), Json::Str(kind.into())),
         ("detail".into(), Json::Str(detail.into())),
-    ])
-    .render()
+    ];
+    if let Some(n) = idem {
+        fields.insert(2, ("idem".into(), Json::Num(n as f64)));
+    }
+    Json::Obj(fields).render()
 }
 
 #[cfg(test)]
@@ -313,7 +363,7 @@ mod tests {
     fn estimate_request_roundtrips_through_the_graph_codec() {
         let g = Graph::from_edges(3, &[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
         let line = format!(
-            r#"{{"verb":"estimate","id":5,"query":{},"max_filter_steps":100}}"#,
+            r#"{{"verb":"estimate","id":5,"query":{},"max_filter_steps":100,"idem":7}}"#,
             graph_to_json(&g).render()
         );
         match parse_request(&line) {
@@ -322,6 +372,7 @@ mod tests {
                 query,
                 deadline_ms,
                 max_filter_steps,
+                idem,
             }) => {
                 assert_eq!(id.as_u64(), Some(5));
                 assert_eq!(
@@ -331,6 +382,7 @@ mod tests {
                 );
                 assert_eq!(deadline_ms, None);
                 assert_eq!(max_filter_steps, Some(100));
+                assert_eq!(idem, Some(7));
             }
             other => panic!("got {other:?}"),
         }

@@ -19,25 +19,38 @@
 //!                  per-connection writer (Mutex<Stream>)
 //! ```
 //!
-//! Control verbs (`stats`, `reload_model`, `shutdown`) are handled
-//! synchronously on the reader thread so they can never queue behind a
-//! slow batch. Hot reload loads + checksum-verifies the new file, carries
-//! the current runtime knobs (threads, budgets) over, then atomically
-//! swaps the `Arc<NeurSc>`; a batch already running keeps its old
-//! snapshot and finishes on it. Graceful drain (`shutdown`): admission
-//! starts refusing with `draining` frames, the batcher finishes the
-//! queue, every thread observes the flag within its poll interval and
-//! exits, and [`Server::join`] returns.
+//! Control verbs (`stats`, `reload_model`, `snapshot`, `shutdown`) are
+//! handled synchronously on the reader thread so they can never queue
+//! behind a slow batch. Hot reload loads + checksum-verifies the new
+//! file, carries the current runtime knobs (threads, budgets) over, then
+//! atomically swaps the `Arc<NeurSc>`; a batch already running keeps its
+//! old snapshot and finishes on it. Graceful drain (`shutdown`):
+//! admission starts refusing with `draining` frames, the batcher finishes
+//! the queue, writes the final warm-state snapshot, then shuts every
+//! connection's socket down — which wakes blocked reader threads
+//! *immediately*, so drain completes in milliseconds rather than a poll
+//! interval — and [`Server::join`] returns.
+//!
+//! Crash safety (DESIGN.md §12) is layered on top: warm-state snapshots
+//! ([`crate::snapshot`]) make restart cheap, the admission journal
+//! ([`crate::journal`]) makes it accountable (in-flight requests are
+//! identifiable after a crash; digests handed back via
+//! [`ServeConfig::quarantine`] are refused with `crash_suspect`), and the
+//! idempotency cache makes client retries exactly-once (a replayed
+//! `(idem, digest)` key is answered from the cached reply frame, never
+//! re-processed).
 
 use crate::conn::Stream;
+use crate::journal::{digest_queries, Journal};
 use crate::json::Json;
 use crate::proto::{self, Request};
+use crate::snapshot;
 use neursc_core::persist::{load_model, model_checksum};
 use neursc_core::{FaultPlan, GraphContext, NeurSc, NeurScError, ObsSink, Recorder};
 use neursc_graph::Graph;
 use neursc_match::FilterBudget;
 use parking_lot::RwLock;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
@@ -93,6 +106,29 @@ pub struct ServeConfig {
     /// Admission sequence numbers whose requests get a starved filter
     /// budget (testing; mirrors [`FaultPlan::starve_budget_on`]).
     pub chaos_starve: Vec<u64>,
+    /// Request digests whose batch slot calls `std::process::abort()`
+    /// (testing: a deterministic "poison query" that kills the worker in
+    /// every incarnation until the supervisor quarantines it). Digest-
+    /// keyed, not seq-keyed — admission seqnos reset on restart, the
+    /// query's content digest does not.
+    pub chaos_abort: Vec<u64>,
+    /// Warm-state snapshot file (`None` = snapshots disabled). Restored
+    /// at startup if present and valid; written on the snapshot interval,
+    /// on the `snapshot` verb, and at the end of a graceful drain.
+    pub snapshot_path: Option<PathBuf>,
+    /// Background snapshot cadence (`None` = only on drain / `snapshot`
+    /// verb).
+    pub snapshot_interval: Option<Duration>,
+    /// Admission journal file (`None` = journaling disabled). Truncated
+    /// at startup — the supervisor has read the previous incarnation's
+    /// entries by the time the worker starts.
+    pub journal_path: Option<PathBuf>,
+    /// Request digests quarantined by the supervisor: admission refuses
+    /// them with a typed `crash_suspect` error.
+    pub quarantine: Vec<u64>,
+    /// How many times the supervisor has restarted this worker (exported
+    /// as the `serve.restarts` counter; 0 when unsupervised).
+    pub restarts: u64,
 }
 
 impl Default for ServeConfig {
@@ -108,12 +144,19 @@ impl Default for ServeConfig {
             cache_capacity: None,
             chaos_panic: Vec::new(),
             chaos_starve: Vec::new(),
+            chaos_abort: Vec::new(),
+            snapshot_path: None,
+            snapshot_interval: None,
+            journal_path: None,
+            quarantine: Vec::new(),
+            restarts: 0,
         }
     }
 }
 
-/// Poll interval at which blocked threads re-check the drain flag.
-const POLL: Duration = Duration::from_millis(25);
+/// Bounded `(idem, digest) → reply frame` cache entries retained for
+/// retry deduplication.
+const IDEM_CACHE_CAP: usize = 1024;
 
 /// Poison-tolerant lock: a panicking holder already contained its panic
 /// (or crashed its own thread); the protected data here (queues, socket
@@ -131,15 +174,31 @@ type Replier = Arc<Mutex<Stream>>;
 #[derive(Debug)]
 struct BatchAgg {
     id: Json,
+    /// Client idempotency seqno, echoed in the combined frame.
+    idem: Option<u64>,
+    /// Content digest of the whole request (idempotency cache key half).
+    digest: u64,
     conn: Replier,
     /// `(per-slot results, slots still outstanding)`.
     slots: Mutex<(Vec<Json>, usize)>,
+    /// Set when any slot got a transient rejection (`overloaded`,
+    /// `draining`): the combined frame must then not be cached for
+    /// idempotent replay — the retry deserves a fresh attempt.
+    transient: AtomicBool,
 }
 
 #[derive(Debug)]
 enum ReplyTo {
-    Direct { conn: Replier, id: Json },
-    Slot { agg: Arc<BatchAgg>, slot: usize },
+    Direct {
+        conn: Replier,
+        id: Json,
+        /// Client idempotency seqno, echoed in the reply frame.
+        idem: Option<u64>,
+    },
+    Slot {
+        agg: Arc<BatchAgg>,
+        slot: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -147,6 +206,9 @@ struct Pending {
     /// Admission sequence number (global arrival order; chaos hooks key
     /// on it).
     seq: u64,
+    /// Content digest of the *request* this item belongs to (journal and
+    /// `chaos_abort` key; shared by every slot of a batch).
+    digest: u64,
     query: Graph,
     /// Per-request filtering budget from `deadline_ms`/`max_filter_steps`
     /// (`None` = the model's configured budget).
@@ -161,14 +223,55 @@ struct QueueState {
     served: u64,
 }
 
+/// Retry deduplication state, keyed on `(idem, request digest)` so two
+/// clients reusing the same seqno for different requests never collide.
+#[derive(Debug, Default)]
+struct IdemCache {
+    /// Keys admitted but not yet answered: a duplicate gets a transient
+    /// `overloaded` frame (the client backs off; by its next attempt the
+    /// original's reply is in `done`).
+    in_flight: HashSet<(u64, u64)>,
+    /// Completed keys with their exact reply frame, FIFO-bounded.
+    done: VecDeque<((u64, u64), String)>,
+}
+
+/// What admission found for a request's idempotency key.
+enum IdemState {
+    /// Never seen (or no `idem` supplied): process normally.
+    New,
+    /// The original is still being processed.
+    InFlight,
+    /// Already answered: the cached frame to replay.
+    Done(String),
+}
+
 struct Shared {
     model: RwLock<Arc<NeurSc>>,
+    /// Checksum of the currently-served model, maintained alongside the
+    /// `Arc` swap so snapshots and `stats` never re-serialize the model.
+    model_sum: RwLock<u64>,
     graph: Graph,
+    /// Content fingerprint of `graph` (snapshot identity).
+    graph_fp: u64,
+    /// Warm-state cache handles, shared with the batcher's `GraphContext`
+    /// (the caches are internally thread-safe).
+    profiles: Arc<neursc_match::ProfileCache>,
+    features: Arc<neursc_gnn::FeatureCache>,
     recorder: Arc<Recorder>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     notify: Condvar,
     draining: AtomicBool,
+    /// Admission journal (when configured).
+    journal: Option<Journal>,
+    idem: Mutex<IdemCache>,
+    /// Writer halves of every accepted connection; drained by shutting
+    /// the sockets down once the batcher finishes, which wakes blocked
+    /// readers immediately.
+    conns: Mutex<Vec<Replier>>,
+    /// Wakes the background snapshot thread (drain or forced write).
+    snap_gate: Mutex<()>,
+    snap_cv: Condvar,
 }
 
 impl Shared {
@@ -182,6 +285,49 @@ impl Shared {
         // orders the store before any subsequent wait.
         let _guard = lock(&self.queue);
         self.notify.notify_all();
+        drop(_guard);
+        let _gate = lock(&self.snap_gate);
+        self.snap_cv.notify_all();
+    }
+
+    /// Admission-side idempotency check; registers `New` keys in flight.
+    fn idem_admit(&self, key: Option<(u64, u64)>) -> IdemState {
+        let Some(key) = key else {
+            return IdemState::New;
+        };
+        let mut cache = lock(&self.idem);
+        if let Some((_, frame)) = cache.done.iter().find(|(k, _)| *k == key) {
+            return IdemState::Done(frame.clone());
+        }
+        if !cache.in_flight.insert(key) {
+            return IdemState::InFlight;
+        }
+        IdemState::New
+    }
+
+    /// Completion-side idempotency bookkeeping. `frame` is the reply that
+    /// was (attempted to be) written: `Some` caches it for replay, `None`
+    /// (a transient rejection like `overloaded`) just releases the key so
+    /// the retry is processed fresh.
+    fn idem_finish(&self, key: Option<(u64, u64)>, frame: Option<&str>) {
+        let Some(key) = key else {
+            return;
+        };
+        let mut cache = lock(&self.idem);
+        cache.in_flight.remove(&key);
+        if let Some(frame) = frame {
+            cache.done.push_back((key, frame.to_string()));
+            while cache.done.len() > IDEM_CACHE_CAP {
+                cache.done.pop_front();
+            }
+        }
+    }
+
+    /// Shuts down every accepted connection's socket: the drain wakeup.
+    fn close_connections(&self) {
+        for conn in lock(&self.conns).drain(..) {
+            let _ = lock(&conn).shutdown();
+        }
     }
 }
 
@@ -193,6 +339,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -212,9 +359,13 @@ impl Server {
     /// Waits for the drain to complete and all threads to exit.
     pub fn join(mut self) -> std::io::Result<()> {
         let mut panicked = false;
-        for h in [self.acceptor.take(), self.batcher.take()]
-            .into_iter()
-            .flatten()
+        for h in [
+            self.acceptor.take(),
+            self.batcher.take(),
+            self.snapshotter.take(),
+        ]
+        .into_iter()
+        .flatten()
         {
             panicked |= h.join().is_err();
         }
@@ -247,6 +398,7 @@ pub fn serve(
 ) -> std::io::Result<Server> {
     model.config.parallelism.threads = cfg.threads.max(1);
     model.config.parallelism.apply_to_kernels();
+    let model_sum = model_checksum(&model);
     let (listener, addr) = bind(&cfg.listen)?;
 
     let mut ctx = match cfg.cache_capacity {
@@ -256,19 +408,54 @@ pub fn serve(
     let sink: Arc<dyn ObsSink> = recorder.clone();
     ctx.obs = sink;
 
+    let graph_fp = graph.content_fingerprint();
+    if let Some(path) = &cfg.snapshot_path {
+        restore_snapshot(path, &ctx, graph_fp, model_sum, &recorder);
+    }
+    let journal = match &cfg.journal_path {
+        Some(path) => Some(Journal::create(path)?),
+        None => None,
+    };
+    if cfg.restarts > 0 {
+        recorder
+            .metrics()
+            .counter_add("serve.restarts", cfg.restarts);
+    }
+
     let shared = Arc::new(Shared {
         model: RwLock::new(Arc::new(model)),
+        model_sum: RwLock::new(model_sum),
         graph,
+        graph_fp,
+        profiles: Arc::clone(&ctx.profiles),
+        features: Arc::clone(&ctx.features),
         recorder,
         cfg,
         queue: Mutex::new(QueueState::default()),
         notify: Condvar::new(),
         draining: AtomicBool::new(false),
+        journal,
+        idem: Mutex::new(IdemCache::default()),
+        conns: Mutex::new(Vec::new()),
+        snap_gate: Mutex::new(()),
+        snap_cv: Condvar::new(),
     });
 
     let batcher = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || batcher_loop(&shared, ctx))
+    };
+    let snapshotter = match (
+        shared.cfg.snapshot_path.is_some(),
+        shared.cfg.snapshot_interval,
+    ) {
+        (true, Some(interval)) => {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || {
+                snapshotter_loop(&shared, interval)
+            }))
+        }
+        _ => None,
     };
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let acceptor = {
@@ -282,8 +469,99 @@ pub fn serve(
         shared,
         acceptor: Some(acceptor),
         batcher: Some(batcher),
+        snapshotter,
         readers,
     })
+}
+
+/// Attempts a warm restore at startup. Success imports every cached entry
+/// and continues metric series; any failure is counted under its typed
+/// `snapshot.restore_outcome.*` reason and the daemon starts cold — a bad
+/// snapshot can cost time, never correctness.
+fn restore_snapshot(
+    path: &Path,
+    ctx: &GraphContext,
+    graph_fp: u64,
+    model_sum: u64,
+    recorder: &Recorder,
+) {
+    let metrics = recorder.metrics();
+    let restored = snapshot::read_file(path).and_then(|snap| {
+        snap.verify(graph_fp, model_sum)?;
+        Ok(snap)
+    });
+    match restored {
+        Ok(snap) => {
+            snap.install(&ctx.profiles, &ctx.features);
+            ctx.sync_eviction_baseline();
+            metrics.counter_add("snapshot.restore_outcome.warm", 1);
+            metrics.gauge_set(
+                "snapshot.age_ms",
+                snap.age_ms(snapshot::unix_ms_now()) as f64,
+            );
+            eprintln!(
+                "serve: warm restore from {} ({} profile entries, {} feature entries)",
+                path.display(),
+                snap.profile_entries.len(),
+                snap.feature_entries.len(),
+            );
+        }
+        Err(e) => {
+            // The counter names must be `&'static str`; map the typed
+            // outcome onto its static series.
+            let counter = match e.outcome() {
+                "cold_missing" => "snapshot.restore_outcome.cold_missing",
+                "cold_corrupt" => "snapshot.restore_outcome.cold_corrupt",
+                _ => "snapshot.restore_outcome.cold_mismatch",
+            };
+            metrics.counter_add(counter, 1);
+            eprintln!("serve: cold start, snapshot not restored: {e}");
+        }
+    }
+}
+
+/// Background snapshot writer: one write per interval while serving. The
+/// *final* write happens on the batcher after the queue drains (so it
+/// captures all served work); this thread just exits on drain.
+fn snapshotter_loop(shared: &Arc<Shared>, interval: Duration) {
+    loop {
+        let gate = lock(&shared.snap_gate);
+        let (gate, _) = shared
+            .snap_cv
+            .wait_timeout(gate, interval)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(gate);
+        if shared.draining() {
+            return;
+        }
+        if let Err(e) = write_snapshot_now(shared) {
+            shared
+                .recorder
+                .metrics()
+                .counter_add("serve.snapshot.write_error", 1);
+            eprintln!("serve: periodic snapshot write failed: {e}");
+        }
+    }
+}
+
+/// Encodes and durably writes the current warm state. Returns the encoded
+/// size in bytes.
+fn write_snapshot_now(shared: &Shared) -> std::io::Result<usize> {
+    let Some(path) = &shared.cfg.snapshot_path else {
+        return Err(std::io::Error::other("server has no snapshot path"));
+    };
+    let bytes = snapshot::encode(
+        &shared.profiles,
+        &shared.features,
+        shared.graph_fp,
+        *shared.model_sum.read(),
+        snapshot::unix_ms_now(),
+    );
+    snapshot::write_atomic(path, &bytes)?;
+    let metrics = shared.recorder.metrics();
+    metrics.counter_add("serve.snapshot.write", 1);
+    metrics.gauge_set("snapshot.age_ms", 0.0);
+    Ok(bytes.len())
 }
 
 enum Listener {
@@ -337,6 +615,7 @@ fn acceptor_loop(
                     continue;
                 };
                 let conn: Replier = Arc::new(Mutex::new(writer));
+                lock(&shared.conns).push(Arc::clone(&conn));
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || reader_loop(&shared, stream, &conn));
                 lock(readers).push(handle);
@@ -364,8 +643,10 @@ fn write_frame(shared: &Shared, conn: &Replier, frame: &str) {
     }
 }
 
+/// Blocks in `read` with no timeout: drain wakes this thread by shutting
+/// the socket down (`Ok(0)` / error), not by letting a poll interval
+/// expire — see [`Shared::close_connections`].
 fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
-    let _ = stream.set_read_timeout(Some(POLL));
     let mut buf: Vec<u8> = Vec::new();
     let mut discarding = false;
     let mut chunk = [0u8; 8192];
@@ -377,6 +658,7 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
                 drain_lines(shared, conn, &mut buf, &mut discarding);
             }
             Err(e) if Stream::is_poll_timeout(&e) => {
+                // No timeout is set, but stay robust to spurious wakeups.
                 if shared.draining() {
                     break;
                 }
@@ -468,16 +750,41 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             write_frame(shared, conn, &proto::render_error(&e.id, e.kind, &e.detail));
         }
         Ok(Request::Stats { id }) => write_frame(shared, conn, &stats_frame(shared, &id)),
+        Ok(Request::Snapshot { id }) => match write_snapshot_now(shared) {
+            Ok(bytes) => {
+                let frame = Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("id".into(), id),
+                    ("snapshot_bytes".into(), Json::Num(bytes as f64)),
+                ])
+                .render();
+                write_frame(shared, conn, &frame);
+            }
+            Err(e) => {
+                shared
+                    .recorder
+                    .metrics()
+                    .counter_add("serve.snapshot.write_error", 1);
+                write_frame(
+                    shared,
+                    conn,
+                    &proto::render_error(&id, "io", &e.to_string()),
+                );
+            }
+        },
         Ok(Request::Shutdown { id }) => {
             shared.recorder.metrics().counter_add("serve.shutdown", 1);
-            shared.begin_drain();
             let frame = Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("id".into(), id),
                 ("draining".into(), Json::Bool(true)),
             ])
             .render();
+            // Reply *before* raising the drain flag: once the batcher
+            // finishes it shuts every socket down, and this acknowledgement
+            // must already be on the wire by then.
             write_frame(shared, conn, &frame);
+            shared.begin_drain();
         }
         Ok(Request::ReloadModel { id, path }) => match reload(shared, &path) {
             Ok(checksum) => {
@@ -511,6 +818,7 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             query,
             deadline_ms,
             max_filter_steps,
+            idem,
         }) => admit(
             shared,
             conn,
@@ -519,12 +827,14 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             deadline_ms,
             max_filter_steps,
             false,
+            idem,
         ),
         Ok(Request::EstimateBatch {
             id,
             queries,
             deadline_ms,
             max_filter_steps,
+            idem,
         }) => admit(
             shared,
             conn,
@@ -533,6 +843,7 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             deadline_ms,
             max_filter_steps,
             true,
+            idem,
         ),
     }
 }
@@ -549,6 +860,7 @@ fn reload(shared: &Shared, path: &str) -> Result<u64, NeurScError> {
     }
     let checksum = model_checksum(&new_model);
     *shared.model.write() = Arc::new(new_model);
+    *shared.model_sum.write() = checksum;
     Ok(checksum)
 }
 
@@ -557,7 +869,7 @@ fn stats_frame(shared: &Shared, id: &Json) -> String {
         let q = lock(&shared.queue);
         (q.items.len(), q.served)
     };
-    let checksum = model_checksum(&shared.model.read());
+    let checksum = *shared.model_sum.read();
     // The registry export is pretty-printed (it is also written to files);
     // re-render it compactly so the frame stays a single line.
     let metrics = crate::json::parse(&shared.recorder.metrics_json())
@@ -574,9 +886,11 @@ fn stats_frame(shared: &Shared, id: &Json) -> String {
 }
 
 /// Admission: maps the request's deadline/step cap onto a
-/// [`FilterBudget`], enforces the size cap and the queue bound, assigns
-/// sequence numbers, and enqueues. Batch requests admit per slot — an
-/// oversized slot gets its typed error in place while its siblings run.
+/// [`FilterBudget`], enforces quarantine, idempotent-replay, the size cap
+/// and the queue bound, assigns sequence numbers, and enqueues. Batch
+/// requests admit per slot — an oversized slot gets its typed error in
+/// place while its siblings run.
+#[allow(clippy::too_many_arguments)]
 fn admit(
     shared: &Arc<Shared>,
     conn: &Replier,
@@ -585,6 +899,7 @@ fn admit(
     deadline_ms: Option<u64>,
     max_filter_steps: Option<u64>,
     batch: bool,
+    idem: Option<u64>,
 ) {
     let metrics = shared.recorder.metrics();
     metrics.counter_add("serve.request", queries.len() as u64);
@@ -593,9 +908,60 @@ fn admit(
         write_frame(
             shared,
             conn,
-            &proto::render_error(&id, "draining", "server is shutting down"),
+            &proto::render_error_idem(&id, idem, "draining", "server is shutting down"),
         );
         return;
+    }
+
+    // Content digest of the whole request: the journal / quarantine /
+    // idempotency identity. Stable across restarts and reconnects.
+    let fps: Vec<u64> = queries.iter().map(Graph::content_fingerprint).collect();
+    let digest = digest_queries(&fps);
+    if shared.cfg.quarantine.contains(&digest) {
+        metrics.counter_add("journal.quarantined", 1);
+        metrics.counter_add("serve.rejected", queries.len() as u64);
+        write_frame(
+            shared,
+            conn,
+            &proto::render_error_idem(
+                &id,
+                idem,
+                "crash_suspect",
+                &format!(
+                    "request digest {digest:016x} was in flight in ≥2 consecutive \
+                     worker crashes and is quarantined"
+                ),
+            ),
+        );
+        return;
+    }
+
+    let idem_key = idem.map(|n| (n, digest));
+    match shared.idem_admit(idem_key) {
+        IdemState::New => {}
+        IdemState::Done(frame) => {
+            // A retry of an already-answered request: replay the exact
+            // frame, process nothing.
+            metrics.counter_add("serve.idem.replayed", 1);
+            write_frame(shared, conn, &frame);
+            return;
+        }
+        IdemState::InFlight => {
+            // The original is still running; tell the client to back off
+            // (its next retry hits the replay path above).
+            metrics.counter_add("serve.idem.in_flight", 1);
+            write_frame(
+                shared,
+                conn,
+                &proto::render_error_idem(
+                    &id,
+                    idem,
+                    "overloaded",
+                    "idempotent request is still being processed; retry",
+                ),
+            );
+            return;
+        }
     }
     let budget = request_budget(deadline_ms, max_filter_steps);
     let over_cap = |q: &Graph| {
@@ -616,27 +982,29 @@ fn admit(
 
     if !batch {
         let Some(query) = queries.into_iter().next() else {
+            shared.idem_finish(idem_key, None);
             write_frame(
                 shared,
                 conn,
-                &proto::render_error(&id, "parse", "estimate needs a query"),
+                &proto::render_error_idem(&id, idem, "parse", "estimate needs a query"),
             );
             return;
         };
         if over_cap(&query) {
             metrics.counter_add("serve.rejected", 1);
-            write_frame(
-                shared,
-                conn,
-                &proto::render_result(&id, &Err(cap_error(&query))),
-            );
+            // A deterministic admission verdict: cacheable for replay
+            // (cached before the write, same as the batcher's replies).
+            let frame = proto::render_result_idem(&id, idem, &Err(cap_error(&query)));
+            shared.idem_finish(idem_key, Some(&frame));
+            write_frame(shared, conn, &frame);
             return;
         }
         let reply = ReplyTo::Direct {
             conn: Arc::clone(conn),
             id,
+            idem,
         };
-        enqueue(shared, vec![(query, budget, reply)]);
+        enqueue(shared, digest, vec![(query, budget, reply)]);
         return;
     }
 
@@ -645,8 +1013,11 @@ fn admit(
     let total = queries.len();
     let agg = Arc::new(BatchAgg {
         id,
+        idem,
+        digest,
         conn: Arc::clone(conn),
         slots: Mutex::new((vec![Json::Null; total], total)),
+        transient: AtomicBool::new(false),
     });
     let mut to_queue = Vec::new();
     for (slot, query) in queries.into_iter().enumerate() {
@@ -668,11 +1039,13 @@ fn admit(
     }
     if to_queue.is_empty() {
         if total == 0 {
-            write_frame(shared, conn, &proto::render_batch(&agg.id, Vec::new()));
+            let frame = proto::render_batch_idem(&agg.id, idem, Vec::new());
+            shared.idem_finish(idem_key, Some(&frame));
+            write_frame(shared, conn, &frame);
         }
         return;
     }
-    enqueue(shared, to_queue);
+    enqueue(shared, digest, to_queue);
 }
 
 /// Anchors the per-request deadline at admission time.
@@ -690,19 +1063,54 @@ fn request_budget(deadline_ms: Option<u64>, max_filter_steps: Option<u64>) -> Op
 }
 
 /// Pushes admitted work, or answers every item with an `overloaded` frame
-/// when the queue bound would be exceeded.
-fn enqueue(shared: &Arc<Shared>, items: Vec<(Graph, Option<FilterBudget>, ReplyTo)>) {
+/// when the queue bound would be exceeded. When a journal is configured,
+/// the admission lines hit disk (one fsync for the whole request)
+/// *before* the work becomes runnable, so any crash while it runs is
+/// attributable to its digest.
+fn enqueue(shared: &Arc<Shared>, digest: u64, items: Vec<(Graph, Option<FilterBudget>, ReplyTo)>) {
     let count = items.len();
-    let overflow = {
+    // Reserve seqnos under the bound check; the fsync below must not run
+    // inside the queue lock.
+    let first_seq = {
         let mut q = lock(&shared.queue);
         if q.items.len() + count > shared.cfg.max_pending {
+            None
+        } else {
+            let first = q.next_seq;
+            q.next_seq += count as u64;
+            Some(first)
+        }
+    };
+    let Some(first_seq) = first_seq else {
+        shared
+            .recorder
+            .metrics()
+            .counter_add("serve.rejected", count as u64);
+        for (_, _, reply) in items {
+            reject(shared, reply, digest, "overloaded", "request queue is full");
+        }
+        return;
+    };
+    if let Some(j) = &shared.journal {
+        let entries: Vec<(u64, u64)> = (0..count as u64).map(|i| (first_seq + i, digest)).collect();
+        if j.admit_many(&entries).is_err() {
+            shared
+                .recorder
+                .metrics()
+                .counter_add("serve.journal.write_error", 1);
+        }
+    }
+    let rejected = {
+        let mut q = lock(&shared.queue);
+        // Re-check under the lock: drain may have begun while we were
+        // journaling, and the batcher may already be past its final pass.
+        if shared.draining() {
             Some(items)
         } else {
-            for (query, budget, reply) in items {
-                let seq = q.next_seq;
-                q.next_seq += 1;
+            for (i, (query, budget, reply)) in items.into_iter().enumerate() {
                 q.items.push_back(Pending {
-                    seq,
+                    seq: first_seq + i as u64,
+                    digest,
                     query,
                     budget,
                     reply,
@@ -712,25 +1120,38 @@ fn enqueue(shared: &Arc<Shared>, items: Vec<(Graph, Option<FilterBudget>, ReplyT
             None
         }
     };
-    let Some(items) = overflow else {
+    let Some(items) = rejected else {
         return;
     };
+    if let Some(j) = &shared.journal {
+        for i in 0..count as u64 {
+            let _ = j.complete(first_seq + i);
+        }
+    }
     shared
         .recorder
         .metrics()
         .counter_add("serve.rejected", count as u64);
     for (_, _, reply) in items {
-        reject(shared, reply, "overloaded", "request queue is full");
+        reject(shared, reply, digest, "draining", "server is shutting down");
     }
 }
 
-/// Answers one admitted-but-unqueued item with a typed error frame.
-fn reject(shared: &Shared, reply: ReplyTo, kind: &str, detail: &str) {
+/// Answers one admitted-but-unqueued item with a typed *transient* error
+/// frame; the request's idempotency key (if any) is released uncached so
+/// a retry is processed fresh.
+fn reject(shared: &Shared, reply: ReplyTo, digest: u64, kind: &str, detail: &str) {
     match reply {
-        ReplyTo::Direct { conn, id } => {
-            write_frame(shared, &conn, &proto::render_error(&id, kind, detail));
+        ReplyTo::Direct { conn, id, idem } => {
+            write_frame(
+                shared,
+                &conn,
+                &proto::render_error_idem(&id, idem, kind, detail),
+            );
+            shared.idem_finish(idem.map(|n| (n, digest)), None);
         }
         ReplyTo::Slot { agg, slot } => {
+            agg.transient.store(true, Ordering::Relaxed);
             let item = Json::Obj(vec![
                 ("ok".into(), Json::Bool(false)),
                 ("kind".into(), Json::Str(kind.into())),
@@ -742,7 +1163,8 @@ fn reject(shared: &Shared, reply: ReplyTo, kind: &str, detail: &str) {
 }
 
 /// Records one finished slot of a batch aggregator and writes the combined
-/// frame when it was the last.
+/// frame when it was the last, completing the request's idempotency key
+/// (cached for replay unless any slot was transient).
 fn finish_slot(shared: &Shared, agg: &Arc<BatchAgg>, slot: usize, result: Json) {
     let done = {
         let mut s = lock(&agg.slots);
@@ -754,7 +1176,17 @@ fn finish_slot(shared: &Shared, agg: &Arc<BatchAgg>, slot: usize, result: Json) 
     };
     if done {
         let items = std::mem::take(&mut lock(&agg.slots).0);
-        write_frame(shared, &agg.conn, &proto::render_batch(&agg.id, items));
+        let frame = proto::render_batch_idem(&agg.id, agg.idem, items);
+        let key = agg.idem.map(|n| (n, agg.digest));
+        // Complete the idempotency key before the write hits the wire: a
+        // client retransmitting the instant it sees the reply must find
+        // `Done(frame)`, not a still-`InFlight` key.
+        if agg.transient.load(Ordering::Relaxed) {
+            shared.idem_finish(key, None);
+        } else {
+            shared.idem_finish(key, Some(&frame));
+        }
+        write_frame(shared, &agg.conn, &frame);
     }
 }
 
@@ -762,10 +1194,24 @@ fn batcher_loop(shared: &Arc<Shared>, mut ctx: GraphContext) {
     loop {
         let batch = next_batch(shared);
         if batch.is_empty() {
-            return; // drained
+            break; // drained
         }
         run_batch(shared, &mut ctx, batch);
     }
+    // Drained: every queued reply has been written. Persist the final warm
+    // state, then shut every connection down — which wakes each blocked
+    // reader thread *now*, so drain completes in milliseconds instead of a
+    // poll interval.
+    if shared.cfg.snapshot_path.is_some() {
+        if let Err(e) = write_snapshot_now(shared) {
+            shared
+                .recorder
+                .metrics()
+                .counter_add("serve.snapshot.write_error", 1);
+            eprintln!("serve: final snapshot write failed: {e}");
+        }
+    }
+    shared.close_connections();
 }
 
 /// Blocks until work is available, then coalesces up to `max_batch`
@@ -817,6 +1263,18 @@ fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) 
         if shared.cfg.chaos_starve.contains(&p.seq) {
             plan = plan.starve_budget_on(slot);
         }
+        // Digest-keyed hard kill: unlike a contained panic this takes the
+        // whole process down, deterministically, in every incarnation —
+        // the supervised-restart drills depend on that repeatability. The
+        // admission journal line is already durable, so the supervisor
+        // will see this digest in flight.
+        if shared.cfg.chaos_abort.contains(&p.digest) {
+            eprintln!(
+                "serve: chaos abort on digest {:016x} (seq {})",
+                p.digest, p.seq
+            );
+            std::process::abort();
+        }
     }
     ctx.faults = plan;
 
@@ -832,10 +1290,22 @@ fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) 
     lock(&shared.queue).served += results.len() as u64;
     for (p, r) in batch.iter().zip(&results) {
         match &p.reply {
-            ReplyTo::Direct { conn, id } => write_frame(shared, conn, &proto::render_result(id, r)),
+            ReplyTo::Direct { conn, id, idem } => {
+                let frame = proto::render_result_idem(id, *idem, r);
+                // Cache before the write hits the wire: a client that
+                // retransmits the instant it sees the reply must find
+                // `Done(frame)`, not a still-`InFlight` key.
+                shared.idem_finish(idem.map(|n| (n, p.digest)), Some(&frame));
+                write_frame(shared, conn, &frame);
+            }
             ReplyTo::Slot { agg, slot } => {
                 finish_slot(shared, agg, *slot, proto::result_to_json(r));
             }
+        }
+        // Completion is journaled *after* the reply write: a crash between
+        // the two over-suspects (safe) rather than under-suspects.
+        if let Some(j) = &shared.journal {
+            let _ = j.complete(p.seq);
         }
     }
 }

@@ -322,6 +322,108 @@ fn unix_socket_transport_serves_and_drains() {
 }
 
 #[test]
+fn retried_idempotent_requests_replay_bit_identically() {
+    // The crash-recovery contract for clients: a request retried with the
+    // same idempotency seqno (as RetryClient does after a reconnect) is
+    // never processed twice — the daemon replays the cached reply frame
+    // byte-for-byte, and the result stays bit-identical to offline.
+    let (g, clean) = workload(13);
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let offline = offline_model
+        .estimate_with(&clean[0], &g, &GraphContext::new())
+        .unwrap();
+
+    let model = NeurSc::new(small_config(1), 42);
+    let server = serve(model, g, ServeConfig::default(), Arc::new(Recorder::new())).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let frame = client::estimate_request_idem(1, &clean[0], None, None, Some(41));
+    let mut c = Client::connect_tcp(&addr).unwrap();
+    let first = c.request(&frame).unwrap();
+    let v = neursc_serve::json::parse(&first).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{first}");
+    assert_eq!(
+        v.get("estimate").and_then(Json::as_f64).unwrap().to_bits(),
+        offline.to_bits(),
+        "served estimate not bit-identical to offline"
+    );
+    assert_eq!(
+        v.get("idem").and_then(Json::as_u64),
+        Some(41),
+        "reply must echo the idempotency seqno: {first}"
+    );
+
+    // Retransmit on the same connection, then again from a brand-new
+    // connection (the post-reconnect case): both replies are replays,
+    // byte-for-byte identical to the acknowledged original.
+    let again = c.request(&frame).unwrap();
+    assert_eq!(
+        again, first,
+        "same-connection retry not a bit-identical replay"
+    );
+    let mut c2 = Client::connect_tcp(&addr).unwrap();
+    let after_reconnect = c2.request(&frame).unwrap();
+    assert_eq!(
+        after_reconnect, first,
+        "post-reconnect retry not a bit-identical replay"
+    );
+
+    // The work ran once: replays never hit the estimator.
+    let stats = c.request(&client::stats_request(9)).unwrap();
+    let v = neursc_serve::json::parse(&stats).unwrap();
+    assert_eq!(
+        v.get("stats").unwrap().get("served").and_then(Json::as_u64),
+        Some(1),
+        "a replayed request must not be re-processed: {stats}"
+    );
+
+    // A different query under the same idem seqno is a different key
+    // (idem, digest): it is served fresh, not mis-replayed.
+    let other = client::estimate_request_idem(2, &clean[1], None, None, Some(41));
+    let fresh = c.request(&other).unwrap();
+    let v = neursc_serve::json::parse(&fresh).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{fresh}");
+    assert_ne!(fresh, first);
+
+    c.send_line(&client::shutdown_request(99)).unwrap();
+    let _ = c.recv_line().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn retry_client_results_match_offline_bit_for_bit() {
+    // RetryClient end-to-end: idem stamping + deadline-derived timeout on
+    // a healthy server changes nothing about the answer.
+    let (g, clean) = workload(17);
+    let offline_model = NeurSc::new(small_config(1), 42);
+    let ctx = GraphContext::new();
+
+    let model = NeurSc::new(small_config(1), 42);
+    let server = serve(
+        model,
+        g.clone(),
+        ServeConfig::default(),
+        Arc::new(Recorder::new()),
+    )
+    .unwrap();
+    let mut rc =
+        neursc_serve::RetryClient::tcp(server.local_addr(), neursc_serve::RetryPolicy::default());
+    for (i, q) in clean.iter().take(6).enumerate() {
+        let offline = offline_model.estimate_with(q, &g, &ctx).unwrap();
+        let reply = rc.estimate(i as u64, q, Some(10_000), None).unwrap();
+        let v = neursc_serve::json::parse(&reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{reply}");
+        assert_eq!(
+            v.get("estimate").and_then(Json::as_f64).unwrap().to_bits(),
+            offline.to_bits(),
+            "item {i}: RetryClient result not bit-identical to offline"
+        );
+    }
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
 fn single_vertex_and_disconnected_queries_serve_correctly() {
     let (g, _) = workload(5);
     // A single-vertex query, one with a label absent from G, and a

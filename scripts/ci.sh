@@ -36,6 +36,9 @@ cargo test -q --test fault_injection
 echo "== serve smoke (daemon over loopback via the real CLI binary) =="
 cargo test -q --test serve_smoke
 
+echo "== supervise smoke (kill -9 mid-traffic, restart, quarantine) =="
+cargo test -q --test supervise_smoke
+
 echo "== serve equivalence + protocol fuzz =="
 cargo test -q -p neursc-serve
 

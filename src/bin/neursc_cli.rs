@@ -185,7 +185,12 @@ USAGE:
                       [--threads T] [--max-batch N] [--batch-wait-us U]
                       [--max-pending N] [--max-frame-bytes B]
                       [--max-query-vertices V] [--cache-capacity C]
-                      [--chaos-panic SEQS] [--chaos-starve SEQS] [OBS]
+                      [--snapshot FILE] [--snapshot-interval-ms MS]
+                      [--journal FILE] [--supervise] [--max-restarts N]
+                      [--backoff-base-ms MS] [--backoff-cap-ms MS]
+                      [--stable-after-ms MS]
+                      [--chaos-panic SEQS] [--chaos-starve SEQS]
+                      [--chaos-abort DIGESTS] [OBS]
   neursc-cli fuzz     [--cases N] [--seed S] [--minimize] [--out-dir DIR]
 
   OBS: [--trace-json FILE] [--metrics-json FILE] [--trace-time canonical|wall]
@@ -207,7 +212,21 @@ serve runs a resident estimator daemon speaking line-delimited JSON over TCP
 runs until a client sends the `shutdown` verb. --max-query-vertices rejects
 over-sized queries at admission; --chaos-panic/--chaos-starve take
 comma-separated admission sequence numbers whose requests get an injected
-worker panic / starved filter budget (fault-injection testing).
+worker panic / starved filter budget (fault-injection testing);
+--chaos-abort takes comma-separated hex request digests whose batch slot
+aborts the process (crash-drill testing).
+
+--snapshot FILE persists the warm caches (checksummed, versioned): restored
+at startup when it matches the current graph and model, rewritten on
+--snapshot-interval-ms (and always at drain). A corrupt or mismatched
+snapshot degrades to a cold rebuild with a typed, counted reason — never a
+wrong answer. --supervise runs the daemon as a child worker under a
+watchdog: crashes restart it with exponential backoff (--max-restarts,
+--backoff-base-ms, --backoff-cap-ms, --stable-after-ms), and the fsync'd
+admission journal (--journal, default neursc.journal) identifies requests
+in flight at death — a request digest implicated in 2 consecutive crashes
+is quarantined (typed crash_suspect rejection). Typed worker exits (codes
+1-7) propagate without restarting; a clean drain exits 0.
 
 --max-query-vertices on estimate/evaluate caps the resource budget (exit 6
 when a query exceeds it); --inject-panic I trips a contained panic on item I
@@ -234,7 +253,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Bare boolean flags carry no value; everything else requires one
         // (a value-less `--data` stays a usage error, not an empty path).
-        const BOOL_FLAGS: &[&str] = &["minimize"];
+        const BOOL_FLAGS: &[&str] = &["minimize", "supervise"];
         if BOOL_FLAGS.contains(&key) {
             out.insert(key.to_string(), String::new());
             i += 1;
@@ -585,7 +604,51 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a comma-separated list of 16-hex-digit request digests
+/// (`--quarantine`, `--chaos-abort`).
+fn hex_list(opts: &Opts, key: &str) -> Result<Vec<u64>, CliError> {
+    let Some(v) = opts.get(key) else {
+        return Ok(Vec::new());
+    };
+    neursc::serve::supervise::parse_quarantine(v)
+        .map_err(|e| CliError::usage(format!("bad value for --{key}: {e}")))
+}
+
+/// The supervision loop: respawn this executable as a worker (same argv
+/// minus `--supervise`, plus an explicit `--journal` so both sides agree
+/// on the path) and restart it per the crash policy. Never returns — the
+/// supervisor's exit code is the worker's verdict.
+fn cmd_supervise(opts: &Opts) -> Result<(), CliError> {
+    let journal = PathBuf::from(
+        opts.get("journal")
+            .map(String::as_str)
+            .unwrap_or("neursc.journal"),
+    );
+    let cfg = neursc::serve::supervise::SuperviseConfig {
+        journal: journal.clone(),
+        max_restarts: num(opts, "max-restarts", 5u32)?,
+        backoff_base: std::time::Duration::from_millis(num(opts, "backoff-base-ms", 100u64)?),
+        backoff_cap: std::time::Duration::from_millis(num(opts, "backoff-cap-ms", 5_000u64)?),
+        stable_after: std::time::Duration::from_millis(num(opts, "stable-after-ms", 10_000u64)?),
+    };
+    // Reconstruct the worker's argv from our own, dropping --supervise
+    // (a bare boolean flag) and pinning --journal explicitly.
+    let mut worker_args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--supervise")
+        .collect();
+    if !opts.contains_key("journal") {
+        worker_args.push("--journal".to_string());
+        worker_args.push(journal.display().to_string());
+    }
+    let code = neursc::serve::supervise::supervise(&worker_args, &cfg);
+    std::process::exit(code);
+}
+
 fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    if opts.contains_key("supervise") {
+        return cmd_supervise(opts);
+    }
     let mut model = load_model(Path::new(req(opts, "model")?))?;
     apply_threads(&mut model, opts)?;
     let g = load_graph(Path::new(req(opts, "data")?))?;
@@ -617,6 +680,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         cache_capacity: opt_num(opts, "cache-capacity")?,
         chaos_panic: num_list(opts, "chaos-panic")?,
         chaos_starve: num_list(opts, "chaos-starve")?,
+        chaos_abort: hex_list(opts, "chaos-abort")?,
+        snapshot_path: opts.get("snapshot").map(PathBuf::from),
+        snapshot_interval: opt_num::<u64>(opts, "snapshot-interval-ms")?
+            .map(std::time::Duration::from_millis),
+        journal_path: opts.get("journal").map(PathBuf::from),
+        quarantine: hex_list(opts, "quarantine")?,
+        restarts: num(opts, "restart-count", 0u64)?,
     };
 
     // The daemon always records: `stats` exports the metrics registry
