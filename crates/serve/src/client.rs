@@ -9,9 +9,14 @@
 //! [`RetryClient`] wraps a [`Client`] with reconnect + exponential
 //! backoff (deterministic seeded jitter) on *transient* failures —
 //! `overloaded` frames, connection reset/refused, EOF mid-reply — and
-//! attaches a per-request idempotency seqno (`idem`) that the server
-//! deduplicates on, so a retry after a reconnect is never processed
-//! twice and a reply is never mis-attributed.
+//! attaches a per-request idempotency seqno (`idem`) scoped by a random
+//! per-client session token (`session`), which the server deduplicates
+//! on: a retry after a reconnect is answered from the server's replay
+//! cache rather than re-processed, and a reply is never mis-attributed.
+//! The session token keeps concurrent clients (which all number their
+//! requests from 1) from colliding in that cache. Dedup is best-effort —
+//! the server's cache is bounded — which is sound for the deterministic,
+//! read-only estimate verbs.
 
 use crate::conn::Stream;
 use crate::json::Json;
@@ -183,6 +188,9 @@ pub struct RetryClient {
     rng: u64,
     /// Next idempotency seqno to stamp.
     next_idem: u64,
+    /// Session token scoping this client's idempotency seqnos on the
+    /// server (random per client, stable across reconnects).
+    session: u64,
 }
 
 /// Whether an I/O error is worth a reconnect + retry: the connection
@@ -200,6 +208,21 @@ pub fn is_transient_io(e: &std::io::Error) -> bool {
             | std::io::ErrorKind::WouldBlock
             | std::io::ErrorKind::TimedOut
     )
+}
+
+/// A random session token from OS entropy (`RandomState`'s per-instance
+/// hash keys — std-only, no rand dependency). Deliberately independent of
+/// the deterministic `jitter_seed`: two clients constructed with
+/// identical policies must still occupy disjoint idempotency scopes on
+/// the server, or one could be served the other's cached reply. Masked to
+/// 53 bits so the token survives the protocol's f64 number encoding
+/// exactly.
+fn random_session_token() -> u64 {
+    use std::hash::{BuildHasher as _, Hasher as _};
+    let raw = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    raw & ((1u64 << 53) - 1)
 }
 
 impl RetryClient {
@@ -222,7 +245,15 @@ impl RetryClient {
             conn: None,
             rng,
             next_idem: 1,
+            session: random_session_token(),
         }
+    }
+
+    /// The session token stamped on this client's requests. Every client
+    /// numbers its requests from 1; the token keeps those seqnos from
+    /// colliding in the server's replay cache across clients.
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// Estimates one query with retries; `id` is the correlation id for
@@ -237,7 +268,14 @@ impl RetryClient {
     ) -> std::io::Result<String> {
         let idem = self.next_idem;
         self.next_idem += 1;
-        let frame = estimate_request_idem(id, query, deadline_ms, max_filter_steps, Some(idem));
+        let frame = estimate_request_idem(
+            id,
+            query,
+            deadline_ms,
+            max_filter_steps,
+            Some(idem),
+            Some(self.session),
+        );
         self.request_idem(&frame, idem, deadline_ms)
     }
 
@@ -245,7 +283,7 @@ impl RetryClient {
     pub fn estimate_batch(&mut self, id: u64, queries: &[Graph]) -> std::io::Result<String> {
         let idem = self.next_idem;
         self.next_idem += 1;
-        let frame = estimate_batch_request_idem(id, queries, Some(idem));
+        let frame = estimate_batch_request_idem(id, queries, Some(idem), Some(self.session));
         self.request_idem(&frame, idem, None)
     }
 
@@ -373,13 +411,15 @@ pub fn estimate_request_with(
     Json::Obj(fields).render()
 }
 
-/// Builds an `estimate` request frame carrying an idempotency seqno.
+/// Builds an `estimate` request frame carrying an idempotency seqno and
+/// the session token scoping it (see the module docs).
 pub fn estimate_request_idem(
     id: u64,
     query: &Graph,
     deadline_ms: Option<u64>,
     max_filter_steps: Option<u64>,
     idem: Option<u64>,
+    session: Option<u64>,
 ) -> String {
     let mut fields = vec![
         ("verb".to_string(), Json::Str("estimate".into())),
@@ -395,17 +435,25 @@ pub fn estimate_request_idem(
     if let Some(n) = idem {
         fields.push(("idem".into(), Json::Num(n as f64)));
     }
+    if let Some(s) = session {
+        fields.push(("session".into(), Json::Num(s as f64)));
+    }
     Json::Obj(fields).render()
 }
 
 /// Builds an `estimate_batch` request frame.
 pub fn estimate_batch_request(id: u64, queries: &[Graph]) -> String {
-    estimate_batch_request_idem(id, queries, None)
+    estimate_batch_request_idem(id, queries, None, None)
 }
 
 /// Builds an `estimate_batch` request frame carrying an idempotency
-/// seqno.
-pub fn estimate_batch_request_idem(id: u64, queries: &[Graph], idem: Option<u64>) -> String {
+/// seqno and the session token scoping it.
+pub fn estimate_batch_request_idem(
+    id: u64,
+    queries: &[Graph],
+    idem: Option<u64>,
+    session: Option<u64>,
+) -> String {
     let mut fields = vec![
         ("verb".to_string(), Json::Str("estimate_batch".into())),
         ("id".to_string(), Json::Num(id as f64)),
@@ -416,6 +464,9 @@ pub fn estimate_batch_request_idem(id: u64, queries: &[Graph], idem: Option<u64>
     ];
     if let Some(n) = idem {
         fields.push(("idem".into(), Json::Num(n as f64)));
+    }
+    if let Some(s) = session {
+        fields.push(("session".into(), Json::Num(s as f64)));
     }
     Json::Obj(fields).render()
 }

@@ -23,10 +23,17 @@
 //! crashes — see `journal`).
 //!
 //! Estimate verbs may carry a client-chosen idempotency seqno `idem`
-//! (distinct from `id`): the server deduplicates on `(idem, query digest)`
-//! and echoes `idem` in the reply, so a client that reconnects and
-//! retries after a transport failure can never have its request processed
-//! twice nor mis-attribute a reply.
+//! (distinct from `id`) and a client session token `session`: the server
+//! deduplicates on `(session, idem, replay digest)` — where the replay
+//! digest covers the queries *and* the per-request budgets — and echoes
+//! `idem` in the reply, so a client that reconnects and retries after a
+//! transport failure is not re-processed and cannot mis-attribute a
+//! reply. The session token scopes the key: distinct clients reusing the
+//! same seqno never collide, and a request without one is scoped to its
+//! connection (so its replays do not survive a reconnect). The dedup is
+//! best-effort — the server's replay cache is bounded, so a sufficiently
+//! late retry may be re-processed; safe for the deterministic, read-only
+//! estimate verbs.
 
 use crate::json::{self, Json};
 use neursc_core::{EstimateDetail, NeurScError};
@@ -48,6 +55,9 @@ pub enum Request {
         max_filter_steps: Option<u64>,
         /// Client idempotency seqno (echoed; retries deduplicate on it).
         idem: Option<u64>,
+        /// Client session token scoping `idem` (stable across reconnects;
+        /// absent = scoped to this connection).
+        session: Option<u64>,
     },
     /// Estimate several queries; the response carries one result per slot.
     EstimateBatch {
@@ -61,6 +71,9 @@ pub enum Request {
         max_filter_steps: Option<u64>,
         /// Client idempotency seqno (echoed; retries deduplicate on it).
         idem: Option<u64>,
+        /// Client session token scoping `idem` (stable across reconnects;
+        /// absent = scoped to this connection).
+        session: Option<u64>,
     },
     /// Atomically swap in a new model from a checksummed model file.
     ReloadModel {
@@ -147,6 +160,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
             let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
             let idem = opt_u64(&v, "idem").map_err(|e| fail(e.0, e.1))?;
+            let session = opt_u64(&v, "session").map_err(|e| fail(e.0, e.1))?;
             let _ = &fail;
             Ok(Request::Estimate {
                 id,
@@ -154,6 +168,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 deadline_ms,
                 max_filter_steps,
                 idem,
+                session,
             })
         }
         "estimate_batch" => {
@@ -170,6 +185,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             let deadline_ms = opt_u64(&v, "deadline_ms").map_err(|e| fail(e.0, e.1))?;
             let max_filter_steps = opt_u64(&v, "max_filter_steps").map_err(|e| fail(e.0, e.1))?;
             let idem = opt_u64(&v, "idem").map_err(|e| fail(e.0, e.1))?;
+            let session = opt_u64(&v, "session").map_err(|e| fail(e.0, e.1))?;
             let _ = &fail;
             Ok(Request::EstimateBatch {
                 id,
@@ -177,6 +193,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 deadline_ms,
                 max_filter_steps,
                 idem,
+                session,
             })
         }
         "reload_model" => {
@@ -363,7 +380,7 @@ mod tests {
     fn estimate_request_roundtrips_through_the_graph_codec() {
         let g = Graph::from_edges(3, &[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
         let line = format!(
-            r#"{{"verb":"estimate","id":5,"query":{},"max_filter_steps":100,"idem":7}}"#,
+            r#"{{"verb":"estimate","id":5,"query":{},"max_filter_steps":100,"idem":7,"session":9}}"#,
             graph_to_json(&g).render()
         );
         match parse_request(&line) {
@@ -373,6 +390,7 @@ mod tests {
                 deadline_ms,
                 max_filter_steps,
                 idem,
+                session,
             }) => {
                 assert_eq!(id.as_u64(), Some(5));
                 assert_eq!(
@@ -383,6 +401,7 @@ mod tests {
                 assert_eq!(deadline_ms, None);
                 assert_eq!(max_filter_steps, Some(100));
                 assert_eq!(idem, Some(7));
+                assert_eq!(session, Some(9));
             }
             other => panic!("got {other:?}"),
         }

@@ -36,9 +36,15 @@
 //! ([`crate::journal`]) makes it accountable (in-flight requests are
 //! identifiable after a crash; digests handed back via
 //! [`ServeConfig::quarantine`] are refused with `crash_suspect`), and the
-//! idempotency cache makes client retries exactly-once (a replayed
-//! `(idem, digest)` key is answered from the cached reply frame, never
-//! re-processed).
+//! idempotency cache deduplicates client retries: a replayed
+//! `(session, idem, replay-digest)` key is answered from the cached
+//! reply frame instead of re-processed. The key is scoped by the
+//! client's session token (or, when none is sent, a server-assigned
+//! per-connection id) so distinct clients reusing the same seqno never
+//! collide, and the replay digest covers the per-request budgets so a
+//! resubmission with a different deadline is a fresh request. The dedup
+//! is **best-effort**, bounded by a FIFO cache (`IDEM_CACHE_CAP`) —
+//! sound here because estimate verbs are deterministic and read-only.
 
 use crate::conn::Stream;
 use crate::journal::{digest_queries, Journal};
@@ -56,7 +62,7 @@ use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -154,9 +160,47 @@ impl Default for ServeConfig {
     }
 }
 
-/// Bounded `(idem, digest) → reply frame` cache entries retained for
-/// retry deduplication.
+/// Bounded [`IdemKey`]` → reply frame` cache entries retained for retry
+/// deduplication. The bound makes the guarantee best-effort: under
+/// sustained load a cached reply can be evicted before a very late retry
+/// arrives, and that retry is then re-processed. This is harmless for
+/// every current verb (estimates are deterministic and read-only — the
+/// re-processed reply is bit-identical), but a future non-idempotent
+/// verb must NOT rely on this cache for exactly-once semantics.
 const IDEM_CACHE_CAP: usize = 1024;
+
+/// Retry-deduplication cache key:
+/// `(session-scoped?, scope, idem seqno, replay digest)`.
+///
+/// `scope` is the client-supplied session token when the request carried
+/// one (`true`) — stable across reconnects, so a post-reconnect retry
+/// still replays — and the server-assigned connection id otherwise
+/// (`false`). The boolean tag keeps the two namespaces disjoint, so a
+/// client token can never collide with a connection id. The replay
+/// digest folds the per-request budgets into the content digest (see
+/// [`replay_digest`]): only a truly identical request replays.
+type IdemKey = (bool, u64, u64, u64);
+
+/// The replay-identity digest: the request's content digest mixed with
+/// its `deadline_ms`/`max_filter_steps`, FNV-1a style. Unlike the
+/// journal/quarantine digest (content only — a poison query is poison
+/// under any budget), the idempotency cache must distinguish the same
+/// query under different budgets: a tighter deadline can legitimately
+/// produce a different (budget-exceeded) reply.
+fn replay_digest(digest: u64, deadline_ms: Option<u64>, max_filter_steps: Option<u64>) -> u64 {
+    let mut h = digest;
+    // +1 keeps `Some(0)` distinct from `None`.
+    for word in [
+        deadline_ms.map_or(0, |v| v.wrapping_add(1)),
+        max_filter_steps.map_or(0, |v| v.wrapping_add(1)),
+    ] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Poison-tolerant lock: a panicking holder already contained its panic
 /// (or crashed its own thread); the protected data here (queues, socket
@@ -176,8 +220,8 @@ struct BatchAgg {
     id: Json,
     /// Client idempotency seqno, echoed in the combined frame.
     idem: Option<u64>,
-    /// Content digest of the whole request (idempotency cache key half).
-    digest: u64,
+    /// Full idempotency cache key (when the request carried a seqno).
+    idem_key: Option<IdemKey>,
     conn: Replier,
     /// `(per-slot results, slots still outstanding)`.
     slots: Mutex<(Vec<Json>, usize)>,
@@ -194,6 +238,8 @@ enum ReplyTo {
         id: Json,
         /// Client idempotency seqno, echoed in the reply frame.
         idem: Option<u64>,
+        /// Full idempotency cache key (when the request carried a seqno).
+        idem_key: Option<IdemKey>,
     },
     Slot {
         agg: Arc<BatchAgg>,
@@ -223,16 +269,18 @@ struct QueueState {
     served: u64,
 }
 
-/// Retry deduplication state, keyed on `(idem, request digest)` so two
-/// clients reusing the same seqno for different requests never collide.
+/// Retry deduplication state, keyed on [`IdemKey`] so two clients
+/// reusing the same seqno — or one client resubmitting the same query
+/// under a different budget — never collide.
 #[derive(Debug, Default)]
 struct IdemCache {
     /// Keys admitted but not yet answered: a duplicate gets a transient
     /// `overloaded` frame (the client backs off; by its next attempt the
     /// original's reply is in `done`).
-    in_flight: HashSet<(u64, u64)>,
-    /// Completed keys with their exact reply frame, FIFO-bounded.
-    done: VecDeque<((u64, u64), String)>,
+    in_flight: HashSet<IdemKey>,
+    /// Completed keys with their exact reply frame, FIFO-bounded
+    /// (best-effort; see [`IDEM_CACHE_CAP`]).
+    done: VecDeque<(IdemKey, String)>,
 }
 
 /// What admission found for a request's idempotency key.
@@ -243,6 +291,17 @@ enum IdemState {
     InFlight,
     /// Already answered: the cached frame to replay.
     Done(String),
+}
+
+/// Registry of the writer halves of every live connection. `closed` flips
+/// exactly once, under the lock, when the drain shuts the registered
+/// sockets down: a connection registered after that must be shut down by
+/// its registrar (still under the same lock-hold's verdict) or its
+/// blocked reader would never wake and [`Server::join`] would hang.
+#[derive(Debug, Default)]
+struct ConnTable {
+    closed: bool,
+    conns: Vec<Replier>,
 }
 
 struct Shared {
@@ -265,13 +324,21 @@ struct Shared {
     /// Admission journal (when configured).
     journal: Option<Journal>,
     idem: Mutex<IdemCache>,
-    /// Writer halves of every accepted connection; drained by shutting
-    /// the sockets down once the batcher finishes, which wakes blocked
-    /// readers immediately.
-    conns: Mutex<Vec<Replier>>,
+    /// Writer halves of every live connection (a reader thread removes
+    /// its entry on exit); drained by shutting the sockets down once the
+    /// batcher finishes, which wakes blocked readers immediately.
+    conns: Mutex<ConnTable>,
+    /// Server-assigned connection ids (idempotency scope for clients
+    /// that send no session token).
+    next_conn: AtomicU64,
     /// Wakes the background snapshot thread (drain or forced write).
     snap_gate: Mutex<()>,
     snap_cv: Condvar,
+    /// Serializes snapshot writes: the `snapshot` verb (any reader
+    /// thread), the periodic snapshotter and the drain path all share one
+    /// tmp file, and interleaved writes could rename a torn tmp over a
+    /// good snapshot.
+    snap_write: Mutex<()>,
 }
 
 impl Shared {
@@ -291,7 +358,7 @@ impl Shared {
     }
 
     /// Admission-side idempotency check; registers `New` keys in flight.
-    fn idem_admit(&self, key: Option<(u64, u64)>) -> IdemState {
+    fn idem_admit(&self, key: Option<IdemKey>) -> IdemState {
         let Some(key) = key else {
             return IdemState::New;
         };
@@ -309,7 +376,7 @@ impl Shared {
     /// was (attempted to be) written: `Some` caches it for replay, `None`
     /// (a transient rejection like `overloaded`) just releases the key so
     /// the retry is processed fresh.
-    fn idem_finish(&self, key: Option<(u64, u64)>, frame: Option<&str>) {
+    fn idem_finish(&self, key: Option<IdemKey>, frame: Option<&str>) {
         let Some(key) = key else {
             return;
         };
@@ -324,8 +391,16 @@ impl Shared {
     }
 
     /// Shuts down every accepted connection's socket: the drain wakeup.
+    /// Also flips [`ConnTable::closed`] under the lock, so a connection
+    /// the acceptor registers *after* this drain pass is shut down at
+    /// registration instead of leaving its reader blocked forever.
     fn close_connections(&self) {
-        for conn in lock(&self.conns).drain(..) {
+        let drained: Vec<Replier> = {
+            let mut table = lock(&self.conns);
+            table.closed = true;
+            table.conns.drain(..).collect()
+        };
+        for conn in drained {
             let _ = lock(&conn).shutdown();
         }
     }
@@ -436,9 +511,11 @@ pub fn serve(
         draining: AtomicBool::new(false),
         journal,
         idem: Mutex::new(IdemCache::default()),
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(ConnTable::default()),
+        next_conn: AtomicU64::new(1),
         snap_gate: Mutex::new(()),
         snap_cv: Condvar::new(),
+        snap_write: Mutex::new(()),
     });
 
     let batcher = {
@@ -550,6 +627,10 @@ fn write_snapshot_now(shared: &Shared) -> std::io::Result<usize> {
     let Some(path) = &shared.cfg.snapshot_path else {
         return Err(std::io::Error::other("server has no snapshot path"));
     };
+    // One writer at a time: concurrent callers (snapshot verb, periodic
+    // snapshotter, drain) share the same tmp file, and an interleaved
+    // write could atomically rename a torn tmp over a good snapshot.
+    let _writer = lock(&shared.snap_write);
     let bytes = snapshot::encode(
         &shared.profiles,
         &shared.features,
@@ -615,9 +696,29 @@ fn acceptor_loop(
                     continue;
                 };
                 let conn: Replier = Arc::new(Mutex::new(writer));
-                lock(&shared.conns).push(Arc::clone(&conn));
+                // Register under the lock that `close_connections` flips
+                // `closed` under: either this connection is in the table
+                // before the drain pass (and gets shut down by it), or the
+                // drain already ran and we must not serve — a reader
+                // spawned now would block in `read` with nothing left to
+                // wake it, hanging `Server::join`.
+                let registered = {
+                    let mut table = lock(&shared.conns);
+                    if table.closed {
+                        false
+                    } else {
+                        table.conns.push(Arc::clone(&conn));
+                        true
+                    }
+                };
+                if !registered {
+                    let _ = stream.shutdown();
+                    continue;
+                }
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
-                let handle = std::thread::spawn(move || reader_loop(&shared, stream, &conn));
+                let handle =
+                    std::thread::spawn(move || reader_loop(&shared, stream, &conn, conn_id));
                 lock(readers).push(handle);
             }
             None => std::thread::sleep(Duration::from_millis(2)),
@@ -646,7 +747,7 @@ fn write_frame(shared: &Shared, conn: &Replier, frame: &str) {
 /// Blocks in `read` with no timeout: drain wakes this thread by shutting
 /// the socket down (`Ok(0)` / error), not by letting a poll interval
 /// expire — see [`Shared::close_connections`].
-fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
+fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier, conn_id: u64) {
     let mut buf: Vec<u8> = Vec::new();
     let mut discarding = false;
     let mut chunk = [0u8; 8192];
@@ -655,7 +756,7 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                drain_lines(shared, conn, &mut buf, &mut discarding);
+                drain_lines(shared, conn, conn_id, &mut buf, &mut discarding);
             }
             Err(e) if Stream::is_poll_timeout(&e) => {
                 // No timeout is set, but stay robust to spurious wakeups.
@@ -666,12 +767,21 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, conn: &Replier) {
             Err(_) => break,
         }
     }
+    // Deregister: a long-running daemon must not accumulate one dead
+    // writer handle (and its dup'd fd) per connection ever accepted.
+    lock(&shared.conns).conns.retain(|c| !Arc::ptr_eq(c, conn));
 }
 
 /// Splits complete lines out of `buf` and dispatches each. Oversized
 /// frames put the connection into discard mode: bytes are dropped until
 /// the next newline, where the protocol resynchronizes.
-fn drain_lines(shared: &Arc<Shared>, conn: &Replier, buf: &mut Vec<u8>, discarding: &mut bool) {
+fn drain_lines(
+    shared: &Arc<Shared>,
+    conn: &Replier,
+    conn_id: u64,
+    buf: &mut Vec<u8>,
+    discarding: &mut bool,
+) {
     loop {
         match buf.iter().position(|&b| b == b'\n') {
             Some(pos) => {
@@ -684,7 +794,7 @@ fn drain_lines(shared: &Arc<Shared>, conn: &Replier, buf: &mut Vec<u8>, discardi
                 if line.is_empty() {
                     continue;
                 }
-                handle_line(shared, conn, line);
+                handle_line(shared, conn, conn_id, line);
             }
             None => {
                 if !*discarding && buf.len() > shared.cfg.max_frame_bytes {
@@ -719,7 +829,7 @@ fn trim_line(line: &[u8]) -> &[u8] {
     line
 }
 
-fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
+fn handle_line(shared: &Arc<Shared>, conn: &Replier, conn_id: u64, line: &[u8]) {
     let Ok(text) = std::str::from_utf8(line) else {
         write_frame(
             shared,
@@ -819,15 +929,18 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             deadline_ms,
             max_filter_steps,
             idem,
+            session,
         }) => admit(
             shared,
             conn,
+            conn_id,
             id,
             vec![query],
             deadline_ms,
             max_filter_steps,
             false,
             idem,
+            session,
         ),
         Ok(Request::EstimateBatch {
             id,
@@ -835,15 +948,18 @@ fn handle_line(shared: &Arc<Shared>, conn: &Replier, line: &[u8]) {
             deadline_ms,
             max_filter_steps,
             idem,
+            session,
         }) => admit(
             shared,
             conn,
+            conn_id,
             id,
             queries,
             deadline_ms,
             max_filter_steps,
             true,
             idem,
+            session,
         ),
     }
 }
@@ -894,12 +1010,14 @@ fn stats_frame(shared: &Shared, id: &Json) -> String {
 fn admit(
     shared: &Arc<Shared>,
     conn: &Replier,
+    conn_id: u64,
     id: Json,
     queries: Vec<Graph>,
     deadline_ms: Option<u64>,
     max_filter_steps: Option<u64>,
     batch: bool,
     idem: Option<u64>,
+    session: Option<u64>,
 ) {
     let metrics = shared.recorder.metrics();
     metrics.counter_add("serve.request", queries.len() as u64);
@@ -936,7 +1054,18 @@ fn admit(
         return;
     }
 
-    let idem_key = idem.map(|n| (n, digest));
+    // Idempotency key: scoped by the client's session token (stable
+    // across reconnects) or this connection's id, over the replay digest
+    // (content + budgets) — see [`IdemKey`].
+    let scope = session.map_or((false, conn_id), |s| (true, s));
+    let idem_key = idem.map(|n| {
+        (
+            scope.0,
+            scope.1,
+            n,
+            replay_digest(digest, deadline_ms, max_filter_steps),
+        )
+    });
     match shared.idem_admit(idem_key) {
         IdemState::New => {}
         IdemState::Done(frame) => {
@@ -1003,6 +1132,7 @@ fn admit(
             conn: Arc::clone(conn),
             id,
             idem,
+            idem_key,
         };
         enqueue(shared, digest, vec![(query, budget, reply)]);
         return;
@@ -1014,7 +1144,7 @@ fn admit(
     let agg = Arc::new(BatchAgg {
         id,
         idem,
-        digest,
+        idem_key,
         conn: Arc::clone(conn),
         slots: Mutex::new((vec![Json::Null; total], total)),
         transient: AtomicBool::new(false),
@@ -1087,7 +1217,7 @@ fn enqueue(shared: &Arc<Shared>, digest: u64, items: Vec<(Graph, Option<FilterBu
             .metrics()
             .counter_add("serve.rejected", count as u64);
         for (_, _, reply) in items {
-            reject(shared, reply, digest, "overloaded", "request queue is full");
+            reject(shared, reply, "overloaded", "request queue is full");
         }
         return;
     };
@@ -1133,22 +1263,27 @@ fn enqueue(shared: &Arc<Shared>, digest: u64, items: Vec<(Graph, Option<FilterBu
         .metrics()
         .counter_add("serve.rejected", count as u64);
     for (_, _, reply) in items {
-        reject(shared, reply, digest, "draining", "server is shutting down");
+        reject(shared, reply, "draining", "server is shutting down");
     }
 }
 
 /// Answers one admitted-but-unqueued item with a typed *transient* error
 /// frame; the request's idempotency key (if any) is released uncached so
 /// a retry is processed fresh.
-fn reject(shared: &Shared, reply: ReplyTo, digest: u64, kind: &str, detail: &str) {
+fn reject(shared: &Shared, reply: ReplyTo, kind: &str, detail: &str) {
     match reply {
-        ReplyTo::Direct { conn, id, idem } => {
+        ReplyTo::Direct {
+            conn,
+            id,
+            idem,
+            idem_key,
+        } => {
             write_frame(
                 shared,
                 &conn,
                 &proto::render_error_idem(&id, idem, kind, detail),
             );
-            shared.idem_finish(idem.map(|n| (n, digest)), None);
+            shared.idem_finish(idem_key, None);
         }
         ReplyTo::Slot { agg, slot } => {
             agg.transient.store(true, Ordering::Relaxed);
@@ -1177,7 +1312,7 @@ fn finish_slot(shared: &Shared, agg: &Arc<BatchAgg>, slot: usize, result: Json) 
     if done {
         let items = std::mem::take(&mut lock(&agg.slots).0);
         let frame = proto::render_batch_idem(&agg.id, agg.idem, items);
-        let key = agg.idem.map(|n| (n, agg.digest));
+        let key = agg.idem_key;
         // Complete the idempotency key before the write hits the wire: a
         // client retransmitting the instant it sees the reply must find
         // `Done(frame)`, not a still-`InFlight` key.
@@ -1290,12 +1425,17 @@ fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) 
     lock(&shared.queue).served += results.len() as u64;
     for (p, r) in batch.iter().zip(&results) {
         match &p.reply {
-            ReplyTo::Direct { conn, id, idem } => {
+            ReplyTo::Direct {
+                conn,
+                id,
+                idem,
+                idem_key,
+            } => {
                 let frame = proto::render_result_idem(id, *idem, r);
                 // Cache before the write hits the wire: a client that
                 // retransmits the instant it sees the reply must find
                 // `Done(frame)`, not a still-`InFlight` key.
-                shared.idem_finish(idem.map(|n| (n, p.digest)), Some(&frame));
+                shared.idem_finish(*idem_key, Some(&frame));
                 write_frame(shared, conn, &frame);
             }
             ReplyTo::Slot { agg, slot } => {

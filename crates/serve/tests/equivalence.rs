@@ -337,7 +337,7 @@ fn retried_idempotent_requests_replay_bit_identically() {
     let server = serve(model, g, ServeConfig::default(), Arc::new(Recorder::new())).unwrap();
     let addr = server.local_addr().to_string();
 
-    let frame = client::estimate_request_idem(1, &clean[0], None, None, Some(41));
+    let frame = client::estimate_request_idem(1, &clean[0], None, None, Some(41), Some(7777));
     let mut c = Client::connect_tcp(&addr).unwrap();
     let first = c.request(&frame).unwrap();
     let v = neursc_serve::json::parse(&first).unwrap();
@@ -354,7 +354,8 @@ fn retried_idempotent_requests_replay_bit_identically() {
     );
 
     // Retransmit on the same connection, then again from a brand-new
-    // connection (the post-reconnect case): both replies are replays,
+    // connection (the post-reconnect case — the session token carries the
+    // idempotency scope across the reconnect): both replies are replays,
     // byte-for-byte identical to the acknowledged original.
     let again = c.request(&frame).unwrap();
     assert_eq!(
@@ -378,12 +379,72 @@ fn retried_idempotent_requests_replay_bit_identically() {
     );
 
     // A different query under the same idem seqno is a different key
-    // (idem, digest): it is served fresh, not mis-replayed.
-    let other = client::estimate_request_idem(2, &clean[1], None, None, Some(41));
+    // (the replay digest covers the content): served fresh, not
+    // mis-replayed.
+    let other = client::estimate_request_idem(2, &clean[1], None, None, Some(41), Some(7777));
     let fresh = c.request(&other).unwrap();
     let v = neursc_serve::json::parse(&fresh).unwrap();
     assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{fresh}");
     assert_ne!(fresh, first);
+
+    let served = |c: &mut Client| {
+        let stats = c.request(&client::stats_request(90)).unwrap();
+        let v = neursc_serve::json::parse(&stats).unwrap();
+        v.get("stats")
+            .unwrap()
+            .get("served")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    let base = served(&mut c);
+
+    // A *different client* (new session) sending the same query with the
+    // same idem seqno must not be handed the first client's cached reply:
+    // its request is processed fresh.
+    let other_session =
+        client::estimate_request_idem(1, &clean[0], None, None, Some(41), Some(8888));
+    let reply = c.request(&other_session).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert_eq!(
+        served(&mut c),
+        base + 1,
+        "a different session must be processed fresh, not replayed"
+    );
+
+    // Same session/idem/query but a different per-request budget is a
+    // different replay identity: processed fresh (a cached reply under a
+    // different deadline could be a budget verdict, not this request's
+    // answer).
+    let other_deadline =
+        client::estimate_request_idem(1, &clean[0], Some(60_000), None, Some(41), Some(7777));
+    let reply = c.request(&other_deadline).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert_eq!(
+        served(&mut c),
+        base + 2,
+        "a different deadline must be processed fresh, not replayed"
+    );
+
+    // Sessionless idem requests are scoped to their connection: a
+    // same-connection retransmit replays, but the same frame from another
+    // connection is processed fresh (no cross-client collision).
+    let sessionless = client::estimate_request_idem(3, &clean[0], None, None, Some(41), None);
+    let first_nosess = c.request(&sessionless).unwrap();
+    assert!(first_nosess.contains("\"ok\":true"), "{first_nosess}");
+    let again_nosess = c.request(&sessionless).unwrap();
+    assert_eq!(
+        again_nosess, first_nosess,
+        "same-connection sessionless retry must replay"
+    );
+    assert_eq!(served(&mut c), base + 3, "the replay must not re-process");
+    let mut c3 = Client::connect_tcp(&addr).unwrap();
+    let cross = c3.request(&sessionless).unwrap();
+    assert!(cross.contains("\"ok\":true"), "{cross}");
+    assert_eq!(
+        served(&mut c3),
+        base + 4,
+        "a sessionless idem frame from another connection is a fresh request"
+    );
 
     c.send_line(&client::shutdown_request(99)).unwrap();
     let _ = c.recv_line().unwrap();
