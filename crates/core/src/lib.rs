@@ -57,6 +57,7 @@ pub mod context;
 pub mod discriminator;
 pub mod distances;
 pub mod error;
+pub mod estimator;
 pub mod extraction;
 pub mod faults;
 pub mod loss;
@@ -71,6 +72,7 @@ pub mod west;
 pub use config::{DiscriminatorMetric, NeurScConfig, Parallelism, ResourceBudget, Variant};
 pub use context::GraphContext;
 pub use error::NeurScError;
+pub use estimator::{ConfidenceInterval, Estimator};
 pub use extraction::{
     extract_substructures, extract_substructures_budgeted, extract_substructures_with, Extraction,
     Substructure,

@@ -4,6 +4,7 @@ use crate::config::NeurScConfig;
 use crate::context::GraphContext;
 use crate::discriminator::Discriminator;
 use crate::error::NeurScError;
+use crate::estimator::{outcome_counter, ConfidenceInterval, Estimator};
 use crate::loss::q_error;
 use crate::obs::{self, ObsSink, PipelineReport, Span};
 use crate::parallel::parallel_map_caught;
@@ -31,6 +32,10 @@ pub struct EstimateDetail {
     /// Whether a filtering budget forced degraded (sound-but-looser)
     /// candidate sets for this query.
     pub degraded: bool,
+    /// A variance-derived confidence interval, reported by sampling
+    /// backends (`None` for WEst — a trained network's error is not a
+    /// per-query random variable). See [`ConfidenceInterval`].
+    pub ci: Option<ConfidenceInterval>,
     /// Per-stage wall timings of this estimate (wall clock — **excluded
     /// from equality**; see [`crate::obs`]).
     pub report: PipelineReport,
@@ -44,32 +49,7 @@ impl PartialEq for EstimateDetail {
             && self.n_substructures == other.n_substructures
             && self.trivially_zero == other.trivially_zero
             && self.degraded == other.degraded
-    }
-}
-
-/// Counter name for a query-level error outcome.
-fn outcome_counter(e: &NeurScError) -> &'static str {
-    match e {
-        NeurScError::Budget { .. } => "query.error.budget",
-        NeurScError::InvalidQuery { .. } => "query.error.invalid_query",
-        NeurScError::Panicked { .. } => "query.panicked",
-        _ => "query.error.other",
-    }
-}
-
-/// Bumps the per-query outcome counters for one finished slot.
-fn count_outcome(sink: &dyn ObsSink, r: &Result<EstimateDetail, NeurScError>) {
-    match r {
-        Ok(d) => {
-            sink.counter_add("query.ok", 1);
-            if d.degraded {
-                sink.counter_add("query.degraded", 1);
-            }
-            if d.trivially_zero {
-                sink.counter_add("query.trivially_zero", 1);
-            }
-        }
-        Err(e) => sink.counter_add(outcome_counter(e), 1),
+            && self.ci == other.ci
     }
 }
 
@@ -231,11 +211,7 @@ impl NeurSc {
             return;
         }
         let _sp = Span::enter("pipeline.warmup");
-        if self.config.uses_extraction() {
-            let _ = ctx.profiles_for(g_for, self.config.filter.profile_radius);
-        } else {
-            let _ = ctx.features_for(g_for, &self.config.features);
-        }
+        <Self as Estimator>::warm(self, g_for, ctx);
     }
 
     /// Trains on queries that are already prepared (lets benchmark
@@ -271,9 +247,7 @@ impl NeurSc {
     /// the product of their connected components' estimates (paper §6.1) —
     /// see [`NeurSc::estimate_disconnected`].
     pub fn estimate_detailed(&self, q: &Graph, g: &Graph) -> Result<EstimateDetail, NeurScError> {
-        // A throwaway context: identical values, no shared caches.
-        let ctx = GraphContext::new();
-        self.estimate_routed(q, g, &ctx, None, self.config.parallelism.threads, true)
+        <Self as Estimator>::estimate_detailed(self, q, g)
     }
 
     /// [`NeurSc::estimate_detailed`] against a caller-provided
@@ -287,15 +261,7 @@ impl NeurSc {
         g: &Graph,
         ctx: &GraphContext,
     ) -> Result<EstimateDetail, NeurScError> {
-        obs::scope(&ctx.obs, obs::lane::ROOT, || {
-            let mut sp = Span::enter("pipeline.query");
-            let r = self.estimate_routed(q, g, ctx, None, self.config.parallelism.threads, true);
-            if let Err(e) = &r {
-                sp.set_tag(obs::error_tag(e));
-            }
-            count_outcome(ctx.obs.as_ref(), &r);
-            r
-        })
+        <Self as Estimator>::estimate_detailed_with(self, q, g, ctx)
     }
 
     /// Prepares one **connected** query (or component) under an optional
@@ -313,53 +279,6 @@ impl NeurSc {
         }
     }
 
-    /// The single-query estimation core shared by every entry point
-    /// (single, batched, served): validates, then either runs the connected
-    /// pipeline directly or — for a disconnected query — estimates each
-    /// connected component and multiplies the counts (paper §6.1: "the
-    /// subgraph counts of a disconnected graph can be obtained by
-    /// multiplying the estimated counts of its connected components").
-    /// Extraction's component-split arithmetic is only sound for connected
-    /// queries, so this split is what makes disconnected queries return
-    /// correct results instead of garbage at every entry point.
-    fn estimate_routed(
-        &self,
-        q: &Graph,
-        g: &Graph,
-        ctx: &GraphContext,
-        budget: Option<FilterBudget>,
-        threads: usize,
-        sub_lanes: bool,
-    ) -> Result<EstimateDetail, NeurScError> {
-        crate::train::validate_query(q, &self.config)?;
-        let components = neursc_graph::induced::connected_components(q);
-        if components.len() <= 1 {
-            let pq = self.prepare_routed(q, g, ctx, budget)?;
-            return Ok(self.estimate_prepared_obs(&pq, threads, &ctx.obs, sub_lanes));
-        }
-        let mut out = EstimateDetail {
-            count: 1.0,
-            n_substructures: 0,
-            trivially_zero: false,
-            degraded: false,
-            report: PipelineReport::default(),
-        };
-        for c in &components {
-            let pq = self.prepare_routed(&c.graph, g, ctx, budget)?;
-            let d = self.estimate_prepared_obs(&pq, threads, &ctx.obs, sub_lanes);
-            out.count *= d.count;
-            out.n_substructures += d.n_substructures;
-            out.trivially_zero |= d.trivially_zero;
-            out.degraded |= d.degraded;
-            out.report.merge(&d.report);
-        }
-        if out.trivially_zero {
-            // Any component with a provably-zero count zeroes the product.
-            out.count = 0.0;
-        }
-        Ok(out)
-    }
-
     /// [`NeurSc::estimate`] with data-graph precomputations served from a
     /// shared [`GraphContext`] — the single-query entry point of the cached
     /// pipeline. Identical value; repeated queries against one `G` skip the
@@ -371,6 +290,21 @@ impl NeurSc {
         ctx: &GraphContext,
     ) -> Result<f64, NeurScError> {
         Ok(self.estimate_detailed_with(q, g, ctx)?.count)
+    }
+
+    /// Estimates one **connected** query (or component): prepare, then WEst
+    /// over every substructure. The [`Estimator::estimate_component`] hook.
+    fn estimate_component_impl(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        ctx: &GraphContext,
+        budget: Option<FilterBudget>,
+        threads: usize,
+        sub_lanes: bool,
+    ) -> Result<EstimateDetail, NeurScError> {
+        let pq = self.prepare_routed(q, g, ctx, budget)?;
+        Ok(self.estimate_prepared_obs(&pq, threads, &ctx.obs, sub_lanes))
     }
 
     /// Estimation over a prepared query. Per-substructure WEst forwards are
@@ -399,6 +333,7 @@ impl NeurSc {
                 n_substructures: 0,
                 trivially_zero: pq.trivially_zero,
                 degraded: pq.degraded,
+                ci: None,
                 report: pq.report.clone(),
             };
         }
@@ -436,6 +371,7 @@ impl NeurSc {
             n_substructures: logs.len(),
             trivially_zero: false,
             degraded: pq.degraded,
+            ci: None,
             report,
         }
     }
@@ -471,44 +407,7 @@ impl NeurSc {
         ctx: &GraphContext,
         budgets: &[Option<FilterBudget>],
     ) -> Vec<Result<EstimateDetail, NeurScError>> {
-        obs::scope(&ctx.obs, obs::lane::ROOT, || {
-            self.warm_caches(queries.is_empty(), g, ctx);
-            let caught = parallel_map_caught(queries.len(), self.config.parallelism.threads, |i| {
-                obs::scope(&ctx.obs, obs::lane::item(i), || {
-                    let mut sp = Span::enter("pipeline.query");
-                    ctx.faults.trip_panic(i);
-                    let budget = if ctx.faults.starved(i) {
-                        Some(FilterBudget::steps(0))
-                    } else {
-                        budgets.get(i).copied().flatten()
-                    };
-                    // Substructure fan-out stays sequential here
-                    // (threads = 1): the per-query fan-out already
-                    // occupies the configured workers, and nesting
-                    // scopes would oversubscribe without changing
-                    // results.
-                    let r = self.estimate_routed(&queries[i], g, ctx, budget, 1, false);
-                    if let Err(e) = &r {
-                        sp.set_tag(obs::error_tag(e));
-                    }
-                    r
-                })
-            });
-            caught
-                .into_iter()
-                .map(|r| {
-                    let slot = match r {
-                        Ok(inner) => inner,
-                        Err(p) => Err(NeurScError::Panicked {
-                            item: p.index,
-                            message: p.message,
-                        }),
-                    };
-                    count_outcome(ctx.obs.as_ref(), &slot);
-                    slot
-                })
-                .collect()
-        })
+        <Self as Estimator>::estimate_batch_budgeted(self, queries, g, ctx, budgets)
     }
 
     /// The §5.8 trade-off: estimates from a uniform substructure sample of
@@ -549,6 +448,44 @@ impl NeurSc {
             total += q_error(self.estimate(q, g)?, *c as f64);
         }
         Ok(total / test.len() as f64)
+    }
+}
+
+/// WEst is the first [`Estimator`] backend: the inherent `estimate*`
+/// methods above forward to the trait's provided entry points, so the
+/// trait and the historical public API are the same code path (and share
+/// the same determinism and fault-containment guarantees).
+impl Estimator for NeurSc {
+    fn name(&self) -> &'static str {
+        "west"
+    }
+
+    fn threads(&self) -> usize {
+        self.config.parallelism.threads
+    }
+
+    fn validate(&self, q: &Graph) -> Result<(), NeurScError> {
+        crate::train::validate_query(q, &self.config)
+    }
+
+    fn warm(&self, g: &Graph, ctx: &GraphContext) {
+        if self.config.uses_extraction() {
+            let _ = ctx.profiles_for(g, self.config.filter.profile_radius);
+        } else {
+            let _ = ctx.features_for(g, &self.config.features);
+        }
+    }
+
+    fn estimate_component(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        ctx: &GraphContext,
+        budget: Option<FilterBudget>,
+        threads: usize,
+        sub_lanes: bool,
+    ) -> Result<EstimateDetail, NeurScError> {
+        self.estimate_component_impl(q, g, ctx, budget, threads, sub_lanes)
     }
 }
 

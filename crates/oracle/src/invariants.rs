@@ -9,7 +9,7 @@
 //! than a resource artifact.
 
 use crate::gen::{build_graph, Case};
-use neursc_core::{GraphContext, NeurSc, NeurScConfig};
+use neursc_core::{Estimator, GraphContext, NeurSc, NeurScConfig};
 use neursc_graph::induced::{connected_components, induced_subgraph};
 use neursc_graph::types::{Label, VertexId};
 use neursc_graph::Graph;
@@ -21,6 +21,7 @@ use neursc_match::{
     count_embeddings, filter_candidates, filter_candidates_budgeted, CandidateSets, FilterBudget,
     FilterConfig,
 };
+use neursc_sample::{SampleConfig, SampleEstimator};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -87,11 +88,21 @@ pub enum Invariant {
     /// Disconnected queries estimate as the product of their components'
     /// estimates (paper §6.1) at every entry point.
     DisconnectedProduct,
+    /// Three-way cross-check of the sampling backend: estimates are `Ok`,
+    /// finite, non-negative, thread-count invariant; `trivially_zero`
+    /// agrees with the WEst backend (same filter configuration); and an
+    /// exact count of 0 forces the estimate to be exactly `0.0` (a
+    /// completed Horvitz–Thompson walk *is* an embedding).
+    SamplingCrossCheck,
+    /// Metamorphic coverage: across independently-seeded sampling runs,
+    /// the reported confidence interval covers the exact count at (about)
+    /// its configured rate.
+    SamplingCiCoverage,
 }
 
 impl Invariant {
     /// All invariants, in the order the fuzzer runs them.
-    pub const ALL: [Invariant; 10] = [
+    pub const ALL: [Invariant; 12] = [
         Invariant::FilterSoundness,
         Invariant::DegradedSuperset,
         Invariant::RefinementMonotoneSound,
@@ -102,6 +113,8 @@ impl Invariant {
         Invariant::PartialCountLowerBound,
         Invariant::EstimateSoundness,
         Invariant::DisconnectedProduct,
+        Invariant::SamplingCrossCheck,
+        Invariant::SamplingCiCoverage,
     ];
 
     /// Stable name used in `.case` files and reports.
@@ -117,6 +130,8 @@ impl Invariant {
             Invariant::PartialCountLowerBound => "partial_count_lower_bound",
             Invariant::EstimateSoundness => "estimate_soundness",
             Invariant::DisconnectedProduct => "disconnected_product",
+            Invariant::SamplingCrossCheck => "sampling_cross_check",
+            Invariant::SamplingCiCoverage => "sampling_ci_coverage",
         }
     }
 
@@ -138,6 +153,8 @@ impl Invariant {
             Invariant::PartialCountLowerBound => check_lower_bound(case),
             Invariant::EstimateSoundness => check_estimate(case, oracle),
             Invariant::DisconnectedProduct => check_disconnected(case, oracle),
+            Invariant::SamplingCrossCheck => check_sampling(case, oracle),
+            Invariant::SamplingCiCoverage => check_sampling_coverage(case, oracle),
         }
     }
 }
@@ -150,6 +167,8 @@ pub struct Oracle {
     pub config: NeurScConfig,
     model_t1: NeurSc,
     model_t2: NeurSc,
+    sampler_t1: SampleEstimator,
+    sampler_t2: SampleEstimator,
 }
 
 impl Oracle {
@@ -165,10 +184,21 @@ impl Oracle {
         let mut cfg2 = config.clone();
         cfg2.parallelism.threads = 2;
         let model_t2 = NeurSc::new(cfg2, 0x0f_ace5);
+        // Sampling backends share the model's filter configuration (so
+        // both agree on candidate sets and `trivially_zero`), with a
+        // modest trial count — the oracle checks soundness properties,
+        // not estimate quality.
+        let scfg = SampleConfig::from_model_config(&config).with_trials(256);
+        let sampler_t1 = SampleEstimator::new(scfg.clone());
+        let mut scfg2 = scfg;
+        scfg2.parallelism.threads = 2;
+        let sampler_t2 = SampleEstimator::new(scfg2);
         Oracle {
             config,
             model_t1,
             model_t2,
+            sampler_t1,
+            sampler_t2,
         }
     }
 }
@@ -722,6 +752,158 @@ fn check_disconnected(case: &Case, oracle: &Oracle) -> Result<(), Violation> {
                  ({} components)",
                 whole.count,
                 components.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_sampling(case: &Case, oracle: &Oracle) -> Result<(), Violation> {
+    let inv = Invariant::SamplingCrossCheck;
+    let (q, g) = (&case.query, &case.data);
+    let ctx = GraphContext::new();
+    let d = match oracle.sampler_t1.estimate_detailed_with(q, g, &ctx) {
+        Ok(d) => d,
+        Err(e) => {
+            return Err(Violation::new(
+                inv,
+                format!(
+                    "sampling estimate failed on a valid {}-vertex query: {e}",
+                    q.n_vertices()
+                ),
+            ));
+        }
+    };
+    if !d.count.is_finite() || d.count < 0.0 {
+        return Err(Violation::new(
+            inv,
+            format!(
+                "sampling estimate is not a finite non-negative number: {}",
+                d.count
+            ),
+        ));
+    }
+    match d.ci {
+        None => {
+            return Err(Violation::new(
+                inv,
+                "sampling result carries no confidence interval",
+            ));
+        }
+        Some(ci) => {
+            // Spelled to stay NaN-hostile: a NaN endpoint must violate.
+            if ci.low.is_nan() || ci.high.is_nan() || ci.low > ci.high || ci.low < 0.0 {
+                return Err(Violation::new(
+                    inv,
+                    format!("malformed interval [{}, {}]", ci.low, ci.high),
+                ));
+            }
+        }
+    }
+    // The two backends run the identical filter configuration, so a
+    // `trivially_zero` verdict must agree (when WEst itself succeeds;
+    // its own failures are EstimateSoundness's to report).
+    if let Ok(w) = oracle.model_t1.estimate_detailed_with(q, g, &ctx) {
+        if w.trivially_zero != d.trivially_zero {
+            return Err(Violation::new(
+                inv,
+                format!(
+                    "trivially_zero disagrees across backends: west={} sample={}",
+                    w.trivially_zero, d.trivially_zero
+                ),
+            ));
+        }
+    }
+    // A completed walk is a real embedding: count(q, G) = 0 forces the
+    // estimate to be exactly 0.0, never merely small. Connected queries
+    // only — a disconnected query estimates the §6.1 component product,
+    // which can be nonzero while the joint count is 0 (the components
+    // match individually but never disjointly).
+    if connected_components(q).len() == 1 {
+        if let Some(exact) = count_embeddings(q, g, ENUM_BUDGET).exact() {
+            if exact == 0 && d.count != 0.0 {
+                return Err(Violation::new(
+                    inv,
+                    format!("count(q, G) = 0 but the sampling estimate is {}", d.count),
+                ));
+            }
+        }
+    }
+    // Thread-count invariance, interval included (`EstimateDetail`
+    // equality covers `ci`).
+    let queries = [q.clone()];
+    let r1 = oracle
+        .sampler_t1
+        .estimate_batch(&queries, g, &GraphContext::new());
+    let r2 = oracle
+        .sampler_t2
+        .estimate_batch(&queries, g, &GraphContext::new());
+    match (&r1[0], &r2[0]) {
+        (Ok(a), Ok(b)) if a == b => Ok(()),
+        (Err(_), Err(_)) => Ok(()),
+        (a, b) => Err(Violation::new(
+            inv,
+            format!("sampling estimate differs across thread counts: {a:?} vs {b:?}"),
+        )),
+    }
+}
+
+/// Independent sampling runs for the coverage check.
+const COVERAGE_RUNS: usize = 8;
+/// Minimum runs whose interval must cover the exact count. Nominal
+/// coverage is 95%; the bar is deliberately loose (binomial tail) so only
+/// a systematically wrong interval trips it, not one unlucky draw.
+const COVERAGE_MIN: usize = 5;
+
+fn check_sampling_coverage(case: &Case, oracle: &Oracle) -> Result<(), Violation> {
+    let inv = Invariant::SamplingCiCoverage;
+    let (q, g) = (&case.query, &case.data);
+    // Coverage of the *exact count* is only claimed for connected
+    // queries. A disconnected query estimates the §6.1 component product,
+    // which deliberately ignores cross-component injectivity — its
+    // interval covers that product, not the joint count.
+    if connected_components(q).len() != 1 {
+        return Ok(());
+    }
+    let Some(exact) = count_embeddings(q, g, ENUM_BUDGET).exact() else {
+        return Ok(()); // exact count too expensive: skip, never guess
+    };
+    let exact = exact as f64;
+    let mut covered = 0usize;
+    for k in 0..COVERAGE_RUNS {
+        let cfg = SampleConfig::from_model_config(&oracle.config)
+            .with_trials(512)
+            .with_seed(0xc0ff_ee00 + k as u64);
+        let est = SampleEstimator::new(cfg);
+        let d = match est.estimate_detailed_with(q, g, &GraphContext::new()) {
+            Ok(d) => d,
+            Err(e) => {
+                return Err(Violation::new(
+                    inv,
+                    format!("sampling failed under an unbounded budget: {e}"),
+                ));
+            }
+        };
+        if exact > 0.0 && d.count == 0.0 {
+            // No walk succeeded: the normal-approximation interval is
+            // meaningless at zero observed successes (documented
+            // Horvitz–Thompson limitation, KNOWN_ISSUES). Coverage says
+            // nothing here; skip the case.
+            return Ok(());
+        }
+        let Some(ci) = d.ci else {
+            return Err(Violation::new(inv, "sampling result carries no interval"));
+        };
+        if ci.contains(exact) {
+            covered += 1;
+        }
+    }
+    if covered < COVERAGE_MIN {
+        return Err(Violation::new(
+            inv,
+            format!(
+                "nominal-95% interval covered the exact count {exact} in only \
+                 {covered}/{COVERAGE_RUNS} independent runs"
             ),
         ));
     }

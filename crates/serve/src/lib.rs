@@ -48,6 +48,7 @@ pub mod conn;
 pub mod journal;
 pub mod json;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod supervise;
@@ -55,4 +56,5 @@ pub mod supervise;
 pub use client::{Client, RetryClient, RetryPolicy};
 pub use json::Json;
 pub use proto::{parse_request, Request, RequestError};
+pub use router::{route, BackendChoice, Routed, RouterConfig};
 pub use server::{serve, Listen, ServeConfig, Server};

@@ -297,16 +297,26 @@ pub fn graph_to_json(g: &Graph) -> Json {
 /// response shapes).
 pub fn result_to_json(r: &Result<EstimateDetail, NeurScError>) -> Json {
     match r {
-        Ok(d) => Json::Obj(vec![
-            ("ok".into(), Json::Bool(true)),
-            ("estimate".into(), Json::Num(d.count)),
-            (
-                "n_substructures".into(),
-                Json::Num(d.n_substructures as f64),
-            ),
-            ("trivially_zero".into(), Json::Bool(d.trivially_zero)),
-            ("degraded".into(), Json::Bool(d.degraded)),
-        ]),
+        Ok(d) => {
+            let mut obj = vec![
+                ("ok".into(), Json::Bool(true)),
+                ("estimate".into(), Json::Num(d.count)),
+                (
+                    "n_substructures".into(),
+                    Json::Num(d.n_substructures as f64),
+                ),
+                ("trivially_zero".into(), Json::Bool(d.trivially_zero)),
+                ("degraded".into(), Json::Bool(d.degraded)),
+            ];
+            // Backends that report an interval (the sampling estimator)
+            // get three extra fields; WEst results omit them.
+            if let Some(ci) = d.ci {
+                obj.push(("ci_low".into(), Json::Num(ci.low)));
+                obj.push(("ci_high".into(), Json::Num(ci.high)));
+                obj.push(("ci_confidence".into(), Json::Num(ci.confidence)));
+            }
+            Json::Obj(obj)
+        }
         Err(e) => Json::Obj(vec![
             ("ok".into(), Json::Bool(false)),
             ("kind".into(), Json::Str(error_kind(e).into())),
@@ -442,6 +452,7 @@ mod tests {
                 n_substructures: 3,
                 trivially_zero: false,
                 degraded: false,
+                ci: None,
                 report: Default::default(),
             }),
         );

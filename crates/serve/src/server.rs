@@ -50,9 +50,12 @@ use crate::conn::Stream;
 use crate::journal::{digest_queries, Journal};
 use crate::json::Json;
 use crate::proto::{self, Request};
+use crate::router::{route, sampler_for_model, BackendChoice, Routed, RouterConfig};
 use crate::snapshot;
 use neursc_core::persist::{load_model, model_checksum};
-use neursc_core::{FaultPlan, GraphContext, NeurSc, NeurScError, ObsSink, Recorder};
+use neursc_core::{
+    EstimateDetail, Estimator, FaultPlan, GraphContext, NeurSc, NeurScError, ObsSink, Recorder,
+};
 use neursc_graph::Graph;
 use neursc_match::FilterBudget;
 use parking_lot::RwLock;
@@ -135,6 +138,11 @@ pub struct ServeConfig {
     /// How many times the supervisor has restarted this worker (exported
     /// as the `serve.restarts` counter; 0 when unsupervised).
     pub restarts: u64,
+    /// Which estimator backend answers requests (`--backend
+    /// west|sample|auto`); see [`crate::router`].
+    pub backend: BackendChoice,
+    /// Cost-model thresholds for `--backend auto`.
+    pub router: RouterConfig,
 }
 
 impl Default for ServeConfig {
@@ -156,6 +164,8 @@ impl Default for ServeConfig {
             journal_path: None,
             quarantine: Vec::new(),
             restarts: 0,
+            backend: BackendChoice::West,
+            router: RouterConfig::default(),
         }
     }
 }
@@ -259,6 +269,11 @@ struct Pending {
     /// Per-request filtering budget from `deadline_ms`/`max_filter_steps`
     /// (`None` = the model's configured budget).
     budget: Option<FilterBudget>,
+    /// The *declared* deadline, kept separately from the anchored
+    /// [`FilterBudget`]: the `auto` router costs against the declaration,
+    /// not wall-clock remaining, so routing is deterministic in the
+    /// request.
+    deadline_ms: Option<u64>,
     reply: ReplyTo,
 }
 
@@ -995,8 +1010,9 @@ fn stats_frame(shared: &Shared, id: &Json) -> String {
     id.write(&mut frame);
     frame.push_str(&format!(
         ",\"stats\":{{\"pending\":{pending},\"served\":{served},\"draining\":{},\
-         \"model_checksum\":\"{checksum:016x}\",\"metrics\":{metrics}}}}}",
+         \"backend\":\"{}\",\"model_checksum\":\"{checksum:016x}\",\"metrics\":{metrics}}}}}",
         shared.draining(),
+        shared.cfg.backend.as_str(),
     ));
     frame
 }
@@ -1134,7 +1150,7 @@ fn admit(
             idem,
             idem_key,
         };
-        enqueue(shared, digest, vec![(query, budget, reply)]);
+        enqueue(shared, digest, deadline_ms, vec![(query, budget, reply)]);
         return;
     }
 
@@ -1175,7 +1191,7 @@ fn admit(
         }
         return;
     }
-    enqueue(shared, digest, to_queue);
+    enqueue(shared, digest, deadline_ms, to_queue);
 }
 
 /// Anchors the per-request deadline at admission time.
@@ -1197,7 +1213,12 @@ fn request_budget(deadline_ms: Option<u64>, max_filter_steps: Option<u64>) -> Op
 /// the admission lines hit disk (one fsync for the whole request)
 /// *before* the work becomes runnable, so any crash while it runs is
 /// attributable to its digest.
-fn enqueue(shared: &Arc<Shared>, digest: u64, items: Vec<(Graph, Option<FilterBudget>, ReplyTo)>) {
+fn enqueue(
+    shared: &Arc<Shared>,
+    digest: u64,
+    deadline_ms: Option<u64>,
+    items: Vec<(Graph, Option<FilterBudget>, ReplyTo)>,
+) {
     let count = items.len();
     // Reserve seqnos under the bound check; the fsync below must not run
     // inside the queue lock.
@@ -1243,6 +1264,7 @@ fn enqueue(shared: &Arc<Shared>, digest: u64, items: Vec<(Graph, Option<FilterBu
                     digest,
                     query,
                     budget,
+                    deadline_ms,
                     reply,
                 });
             }
@@ -1388,16 +1410,7 @@ fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) 
     // Snapshot the model once per batch: a concurrent reload swaps the
     // Arc for the *next* batch; this one finishes on its snapshot.
     let model = shared.model.read().clone();
-    let queries: Vec<Graph> = batch.iter().map(|p| p.query.clone()).collect();
-    let budgets: Vec<Option<FilterBudget>> = batch.iter().map(|p| p.budget).collect();
-    let mut plan = FaultPlan::new();
-    for (slot, p) in batch.iter().enumerate() {
-        if shared.cfg.chaos_panic.contains(&p.seq) {
-            plan = plan.panic_on(slot);
-        }
-        if shared.cfg.chaos_starve.contains(&p.seq) {
-            plan = plan.starve_budget_on(slot);
-        }
+    for p in &batch {
         // Digest-keyed hard kill: unlike a contained panic this takes the
         // whole process down, deterministically, in every incarnation —
         // the supervised-restart drills depend on that repeatability. The
@@ -1411,11 +1424,71 @@ fn run_batch(shared: &Arc<Shared>, ctx: &mut GraphContext, batch: Vec<Pending>) 
             std::process::abort();
         }
     }
-    ctx.faults = plan;
+
+    // Route every slot, then run each backend's partition as one batch
+    // call. Routing is deterministic in the request (see
+    // [`crate::router`]); the default `west` choice produces a single
+    // all-slots partition — the exact pre-router code path.
+    let routes: Vec<Routed> = batch
+        .iter()
+        .map(|p| {
+            route(
+                shared.cfg.backend,
+                &shared.cfg.router,
+                &p.query,
+                &shared.graph,
+                p.deadline_ms,
+            )
+        })
+        .collect();
+    let sampler = sampler_for_model(&model.config);
+    let metrics = shared.recorder.metrics();
 
     let t0 = Instant::now();
-    let results = model.estimate_batch_budgeted(&queries, &shared.graph, ctx, &budgets);
-    let metrics = shared.recorder.metrics();
+    let mut slotted: Vec<Option<Result<EstimateDetail, NeurScError>>> =
+        batch.iter().map(|_| None).collect();
+    for backend in [Routed::West, Routed::Sample] {
+        let slots: Vec<usize> = (0..batch.len()).filter(|&i| routes[i] == backend).collect();
+        if slots.is_empty() {
+            continue;
+        }
+        let (counter, est): (_, &dyn Estimator) = match backend {
+            Routed::West => ("router.backend.west", &*model),
+            Routed::Sample => ("router.backend.sample", &sampler),
+        };
+        metrics.counter_add(counter, slots.len() as u64);
+        let queries: Vec<Graph> = slots.iter().map(|&i| batch[i].query.clone()).collect();
+        let budgets: Vec<Option<FilterBudget>> = slots.iter().map(|&i| batch[i].budget).collect();
+        // Remap the seq-keyed chaos hooks onto partition-local slots.
+        let mut plan = FaultPlan::new();
+        for (part_slot, &i) in slots.iter().enumerate() {
+            if shared.cfg.chaos_panic.contains(&batch[i].seq) {
+                plan = plan.panic_on(part_slot);
+            }
+            if shared.cfg.chaos_starve.contains(&batch[i].seq) {
+                plan = plan.starve_budget_on(part_slot);
+            }
+        }
+        ctx.faults = plan;
+        let part = est.estimate_batch_budgeted(&queries, &shared.graph, ctx, &budgets);
+        for (&i, r) in slots.iter().zip(part) {
+            slotted[i] = Some(r);
+        }
+    }
+    ctx.faults = FaultPlan::new();
+    // Every slot was routed to exactly one partition; the fallback arm is
+    // unreachable but keeps library code panic-free.
+    let results: Vec<Result<EstimateDetail, NeurScError>> = slotted
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(NeurScError::Panicked {
+                    item: 0,
+                    message: "router: slot left unrouted".into(),
+                })
+            })
+        })
+        .collect();
     metrics.counter_add("serve.batch", 1);
     metrics.observe("serve.batch.size", batch.len() as u64);
     metrics.observe("serve.batch.ns", t0.elapsed().as_nanos() as u64);

@@ -9,12 +9,15 @@
 //! query, over-cap query).
 
 use neursc_core::persist::save_model;
-use neursc_core::{FaultPlan, GraphContext, NeurSc, NeurScConfig, Recorder};
+use neursc_core::{EstimateDetail, Estimator, FaultPlan, GraphContext, NeurSc, NeurScConfig};
+use neursc_core::{NeurScError, Recorder};
 use neursc_graph::generate::erdos_renyi;
 use neursc_graph::sample::{sample_query, QuerySampler};
 use neursc_graph::Graph;
+use neursc_sample::{SampleConfig, SampleEstimator};
 use neursc_serve::client::{self, Client};
 use neursc_serve::json::Json;
+use neursc_serve::router::{candidate_volume, route, BackendChoice, Routed, RouterConfig};
 use neursc_serve::{proto, serve, Listen, ServeConfig};
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -513,4 +516,156 @@ fn single_vertex_and_disconnected_queries_serve_correctly() {
     let served = run_pipelined(server.local_addr(), &batch);
     server.join().unwrap();
     assert_matches_offline(&offline, &served, "edge-shape queries");
+}
+
+/// Offline replication of the daemon's routed batch: partition by the
+/// same `route()` decisions, remap the seq-keyed poisons onto
+/// partition-local slots, run each partition through its backend.
+fn offline_routed(
+    batch: &[Graph],
+    g: &Graph,
+    choice: BackendChoice,
+    rcfg: &RouterConfig,
+) -> Vec<Result<EstimateDetail, NeurScError>> {
+    let west = NeurSc::new(small_config(1), 42);
+    let sampler = SampleEstimator::new(SampleConfig::from_model_config(&west.config));
+    let routes: Vec<Routed> = batch
+        .iter()
+        .map(|q| route(choice, rcfg, q, g, None))
+        .collect();
+    let mut out: Vec<Option<Result<EstimateDetail, NeurScError>>> =
+        batch.iter().map(|_| None).collect();
+    for backend in [Routed::West, Routed::Sample] {
+        let slots: Vec<usize> = (0..batch.len()).filter(|&i| routes[i] == backend).collect();
+        if slots.is_empty() {
+            continue;
+        }
+        let queries: Vec<Graph> = slots.iter().map(|&i| batch[i].clone()).collect();
+        let mut plan = FaultPlan::new();
+        for (part_slot, &i) in slots.iter().enumerate() {
+            if i == PANIC_ITEM {
+                plan = plan.panic_on(part_slot);
+            }
+            if i == STARVED_ITEM {
+                plan = plan.starve_budget_on(part_slot);
+            }
+        }
+        let ctx = GraphContext::with_faults(plan);
+        let est: &dyn Estimator = match backend {
+            Routed::West => &west,
+            Routed::Sample => &sampler,
+        };
+        let part = est.estimate_batch(&queries, g, &ctx);
+        for (&i, r) in slots.iter().zip(part) {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn served_sample_backend_is_bit_identical_to_offline_at_any_thread_count() {
+    let (g, clean) = workload(7);
+    let batch = poisoned_batch(&clean);
+
+    let offline = offline_routed(&batch, &g, BackendChoice::Sample, &RouterConfig::default());
+    // The same four poisons produce typed errors; everything else is ok
+    // and carries a confidence interval.
+    assert_eq!(offline.iter().filter(|d| d.is_ok()).count(), 28);
+    for d in offline.iter().flatten() {
+        assert!(d.ci.is_some(), "sampling results must carry an interval");
+    }
+
+    for threads in [1, 2, 4] {
+        let model = NeurSc::new(small_config(threads), 42);
+        let cfg = ServeConfig {
+            backend: BackendChoice::Sample,
+            ..serve_config(threads)
+        };
+        let server = serve(model, g.clone(), cfg, Arc::new(Recorder::new())).unwrap();
+        let served = run_pipelined(server.local_addr(), &batch);
+        server.join().unwrap();
+        assert_matches_offline(&offline, &served, &format!("sample threads={threads}"));
+        // The interval rides the wire bit-identically too.
+        for (i, off) in offline.iter().enumerate() {
+            if let Ok(d) = off {
+                let ci = d.ci.unwrap();
+                let v = &served[&(i as u64)];
+                let low = v.get("ci_low").and_then(Json::as_f64).unwrap();
+                let high = v.get("ci_high").and_then(Json::as_f64).unwrap();
+                assert_eq!(low.to_bits(), ci.low.to_bits(), "item {i} ci_low");
+                assert_eq!(high.to_bits(), ci.high.to_bits(), "item {i} ci_high");
+            }
+        }
+    }
+}
+
+#[test]
+fn served_auto_backend_routes_deterministically_and_matches_offline() {
+    let (g, clean) = workload(7);
+    let batch = poisoned_batch(&clean);
+
+    // Pick a volume cap at the median so the batch genuinely splits.
+    let mut vols: Vec<u64> = batch.iter().map(|q| candidate_volume(q, &g)).collect();
+    vols.sort_unstable();
+    let rcfg = RouterConfig {
+        volume_cap: vols[batch.len() / 2],
+        cands_per_ms: RouterConfig::default().cands_per_ms,
+    };
+    let routes: Vec<Routed> = batch
+        .iter()
+        .map(|q| route(BackendChoice::Auto, &rcfg, q, &g, None))
+        .collect();
+    let n_sample = routes.iter().filter(|r| **r == Routed::Sample).count();
+    let n_west = batch.len() - n_sample;
+    assert!(
+        n_sample > 0 && n_west > 0,
+        "the cost model must split this batch (west={n_west}, sample={n_sample})"
+    );
+
+    let offline = offline_routed(&batch, &g, BackendChoice::Auto, &rcfg);
+
+    for threads in [1, 2, 4] {
+        let model = NeurSc::new(small_config(threads), 42);
+        let cfg = ServeConfig {
+            backend: BackendChoice::Auto,
+            router: rcfg,
+            ..serve_config(threads)
+        };
+        let server = serve(model, g.clone(), cfg, Arc::new(Recorder::new())).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let mut c = Client::connect_tcp(&addr).unwrap();
+        for (i, q) in batch.iter().enumerate() {
+            c.send_line(&client::estimate_request(i as u64, q)).unwrap();
+        }
+        let mut served = HashMap::new();
+        for _ in 0..batch.len() {
+            let v = neursc_serve::json::parse(&c.recv_line().unwrap()).unwrap();
+            let id = v.get("id").and_then(Json::as_u64).unwrap();
+            served.insert(id, v);
+        }
+
+        // Every routing decision is counted and exposed via `stats`.
+        let stats = c.request(&client::stats_request(9999)).unwrap();
+        let v = neursc_serve::json::parse(&stats).unwrap();
+        let s = v.get("stats").unwrap();
+        assert_eq!(s.get("backend").and_then(Json::as_str), Some("auto"));
+        let counters = s.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(
+            counters.get("router.backend.west").and_then(Json::as_u64),
+            Some(n_west as u64),
+            "threads={threads}: west decisions miscounted: {stats}"
+        );
+        assert_eq!(
+            counters.get("router.backend.sample").and_then(Json::as_u64),
+            Some(n_sample as u64),
+            "threads={threads}: sample decisions miscounted: {stats}"
+        );
+
+        c.send_line(&client::shutdown_request(10_000)).unwrap();
+        let _ = c.recv_line().unwrap();
+        server.join().unwrap();
+        assert_matches_offline(&offline, &served, &format!("auto threads={threads}"));
+    }
 }

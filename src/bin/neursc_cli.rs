@@ -24,7 +24,7 @@ use neursc::graph::io::{load_graph, save_graph};
 use neursc::graph::{Graph, GraphError};
 use neursc::matching::count_embeddings;
 use neursc::oracle::fuzz::{run_fuzz_with, FuzzConfig};
-use neursc::serve::{serve, Listen, ServeConfig};
+use neursc::serve::{serve, BackendChoice, Listen, RouterConfig, ServeConfig};
 use neursc::workloads::datasets::{dataset, DatasetId};
 use neursc::workloads::queries::{build_query_set, QuerySetConfig};
 use std::collections::HashMap;
@@ -182,6 +182,8 @@ USAGE:
   neursc-cli evaluate --model FILE --data FILE --queries DIR [--threads T]
                       [--max-query-vertices V] [--inject-panic I] [OBS]
   neursc-cli serve    --model FILE --data FILE [--listen ADDR | --unix PATH]
+                      [--backend west|sample|auto] [--router-volume-cap N]
+                      [--router-cands-per-ms N]
                       [--threads T] [--max-batch N] [--batch-wait-us U]
                       [--max-pending N] [--max-frame-bytes B]
                       [--max-query-vertices V] [--cache-capacity C]
@@ -209,7 +211,12 @@ gauges (loss, grad norm) and log-scale histograms (per-stage ns).
 
 serve runs a resident estimator daemon speaking line-delimited JSON over TCP
 (or a Unix socket with --unix). It prints `listening on ADDR` once bound and
-runs until a client sends the `shutdown` verb. --max-query-vertices rejects
+runs until a client sends the `shutdown` verb. --backend picks the estimator:
+west (the trained GNN, default), sample (filtering–sampling with confidence
+intervals, no training needed), or auto (cost-based per-request routing on
+candidate-space volume and the declared deadline; tune with
+--router-volume-cap / --router-cands-per-ms; decisions are counted under
+router.backend.* in `stats`). --max-query-vertices rejects
 over-sized queries at admission; --chaos-panic/--chaos-starve take
 comma-separated admission sequence numbers whose requests get an injected
 worker panic / starved filter budget (fault-injection testing);
@@ -669,6 +676,24 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
                 .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
         ),
     };
+    let backend = match opts.get("backend") {
+        None => BackendChoice::West,
+        Some(s) => BackendChoice::parse(s).ok_or_else(|| {
+            CliError::usage(format!("bad value for --backend: {s:?} (west|sample|auto)"))
+        })?,
+    };
+    let router = RouterConfig {
+        volume_cap: num(
+            opts,
+            "router-volume-cap",
+            RouterConfig::default().volume_cap,
+        )?,
+        cands_per_ms: num(
+            opts,
+            "router-cands-per-ms",
+            RouterConfig::default().cands_per_ms,
+        )?,
+    };
     let cfg = ServeConfig {
         listen,
         threads: model.config.parallelism.threads,
@@ -687,6 +712,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         journal_path: opts.get("journal").map(PathBuf::from),
         quarantine: hex_list(opts, "quarantine")?,
         restarts: num(opts, "restart-count", 0u64)?,
+        backend,
+        router,
     };
 
     // The daemon always records: `stats` exports the metrics registry
