@@ -251,7 +251,12 @@ fn main() {
     let _ = writeln!(
         out,
         "  \"router\": {{\"volume_cap\": {volume_cap}, \"hits_west\": {hits_west}, \
-         \"hits_sample\": {hits_sample}}}"
+         \"hits_sample\": {hits_sample}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"process_peak_rss_bytes\": {}",
+        neursc_core::obs::process_peak_rss_bytes()
     );
     out.push_str("}\n");
 

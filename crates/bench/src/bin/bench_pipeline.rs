@@ -191,7 +191,12 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"bit_identical_across_threads\": {deterministic}");
+    let _ = writeln!(json, "  \"bit_identical_across_threads\": {deterministic},");
+    let _ = writeln!(
+        json,
+        "  \"process_peak_rss_bytes\": {}",
+        neursc_core::obs::process_peak_rss_bytes()
+    );
     json.push_str("}\n");
 
     let out = std::env::var("NEURSC_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());

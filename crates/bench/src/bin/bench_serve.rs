@@ -331,7 +331,12 @@ fn main() {
     let _ = writeln!(out, "  \"warm_target_5x_met\": {target_met},");
     let _ = writeln!(out, "  \"restarts\": {n_restarts},");
     let _ = writeln!(out, "  \"restore_p50_ms\": {restore_p50_ms:.3},");
-    let _ = writeln!(out, "  \"cold_p50_ms\": {cold_start_p50_ms:.3}");
+    let _ = writeln!(out, "  \"cold_p50_ms\": {cold_start_p50_ms:.3},");
+    let _ = writeln!(
+        out,
+        "  \"process_peak_rss_bytes\": {}",
+        neursc_core::obs::process_peak_rss_bytes()
+    );
     out.push_str("}\n");
 
     let path = std::env::var("NEURSC_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

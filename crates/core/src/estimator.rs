@@ -114,6 +114,50 @@ pub(crate) fn count_outcome(
     }
 }
 
+/// The §6.1 component-product reduction shared by [`Estimator::estimate_routed`]
+/// and the partitioned pipeline ([`crate::partition`]): estimates each
+/// connected component via `each` (in component order) and multiplies
+/// counts, merging diagnostics and composing confidence intervals exactly
+/// as documented on `estimate_routed`.
+pub(crate) fn component_product(
+    components: &[neursc_graph::induced::InducedSubgraph],
+    mut each: impl FnMut(&Graph) -> Result<EstimateDetail, NeurScError>,
+) -> Result<EstimateDetail, NeurScError> {
+    let mut out = EstimateDetail {
+        count: 1.0,
+        n_substructures: 0,
+        trivially_zero: false,
+        degraded: false,
+        ci: None,
+        report: PipelineReport::default(),
+    };
+    let mut ci = Some((1.0f64, 1.0f64, 1.0f64));
+    for c in components {
+        let d = each(&c.graph)?;
+        out.count *= d.count;
+        out.n_substructures += d.n_substructures;
+        out.trivially_zero |= d.trivially_zero;
+        out.degraded |= d.degraded;
+        out.report.merge(&d.report);
+        ci = match (ci, d.ci) {
+            (Some((lo, hi, conf)), Some(c)) => {
+                Some((lo * c.low, hi * c.high, conf.min(c.confidence)))
+            }
+            _ => None,
+        };
+    }
+    if out.trivially_zero {
+        // Any component with a provably-zero count zeroes the product.
+        out.count = 0.0;
+    }
+    out.ci = ci.map(|(low, high, confidence)| ConfidenceInterval {
+        low,
+        high,
+        confidence,
+    });
+    Ok(out)
+}
+
 /// A cardinality-estimation backend.
 ///
 /// Implementors provide the five required methods; the provided methods
@@ -181,39 +225,9 @@ pub trait Estimator: Send + Sync {
         if components.len() <= 1 {
             return self.estimate_component(q, g, ctx, budget, threads, sub_lanes);
         }
-        let mut out = EstimateDetail {
-            count: 1.0,
-            n_substructures: 0,
-            trivially_zero: false,
-            degraded: false,
-            ci: None,
-            report: PipelineReport::default(),
-        };
-        let mut ci = Some((1.0f64, 1.0f64, 1.0f64));
-        for c in &components {
-            let d = self.estimate_component(&c.graph, g, ctx, budget, threads, sub_lanes)?;
-            out.count *= d.count;
-            out.n_substructures += d.n_substructures;
-            out.trivially_zero |= d.trivially_zero;
-            out.degraded |= d.degraded;
-            out.report.merge(&d.report);
-            ci = match (ci, d.ci) {
-                (Some((lo, hi, conf)), Some(c)) => {
-                    Some((lo * c.low, hi * c.high, conf.min(c.confidence)))
-                }
-                _ => None,
-            };
-        }
-        if out.trivially_zero {
-            // Any component with a provably-zero count zeroes the product.
-            out.count = 0.0;
-        }
-        out.ci = ci.map(|(low, high, confidence)| ConfidenceInterval {
-            low,
-            high,
-            confidence,
-        });
-        Ok(out)
+        component_product(&components, |cq| {
+            self.estimate_component(cq, g, ctx, budget, threads, sub_lanes)
+        })
     }
 
     /// Estimates `c(q, G)` against a throwaway context (no shared caches).

@@ -150,7 +150,12 @@ fn emit_stage_spans(stages: &StageBreakdown) {
     obs::span_with_ns("filter.refine", stages.refine_ns);
 }
 
-fn extract_from_candidates(
+/// Extraction from already-filtered candidate sets — the stage shared by
+/// the whole-graph pipeline above and the partitioned pipeline
+/// ([`crate::partition`]), which filters against a [`neursc_store`] working
+/// set instead of the full data graph. `g` is whatever graph `candidates`
+/// is expressed in (the data graph here, the working set there).
+pub(crate) fn extract_from_candidates(
     q: &Graph,
     g: &Graph,
     cfg: &NeurScConfig,

@@ -320,7 +320,7 @@ impl NeurSc {
     /// sink. `sub_lanes` routes each substructure's `gnn.*` spans onto its
     /// own deterministic lane ([`obs::lane::sub`]); the batched pipeline
     /// turns that off so substructure spans stay on their query's lane.
-    fn estimate_prepared_obs(
+    pub(crate) fn estimate_prepared_obs(
         &self,
         pq: &PreparedQuery,
         threads: usize,

@@ -111,6 +111,13 @@ pub mod lane {
     pub const fn sub(i: usize) -> u64 {
         (1u64 << 32) + i as u64
     }
+
+    /// Lane of partition `i` in a partitioned estimate
+    /// (`neursc_core::partition`). A third disjoint id range, so partition
+    /// lanes collide with neither items nor substructures.
+    pub const fn part(i: usize) -> u64 {
+        (2u64 << 32) + i as u64
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -653,6 +660,38 @@ impl Metrics {
                 .map(|(&k, v)| (k.to_string(), v.clone()))
                 .collect(),
         }
+    }
+}
+
+/// Peak resident set size (high-water mark) of the current process, in
+/// bytes — `VmHWM` from `/proc/self/status` on Linux, 0 on platforms
+/// without procfs (a gauge of 0 means "unavailable", never "no memory").
+///
+/// The high-water mark is monotone over a process lifetime, so per-phase
+/// attribution needs one process per phase (`bench_store` does exactly
+/// that). Record it with
+/// `metrics.gauge_set("process.peak_rss_bytes", process_peak_rss_bytes() as f64)`.
+pub fn process_peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 

@@ -163,11 +163,10 @@ fn prepare_query_impl(
         }
     }
     let budget = budget_override.unwrap_or_else(|| cfg.budget.filter_budget());
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e75_7263_7363_u64);
-    let x_q = init_features(q, &cfg.features);
-    let q_edges = EdgeList::from_graph(q);
 
     if !cfg.uses_extraction() {
+        let x_q = init_features(q, &cfg.features);
+        let q_edges = EdgeList::from_graph(q);
         // NeurSC w/o SE: the "substructure" is the entire data graph.
         let x_g = match ctx {
             Some(ctx) => (*ctx.features_for(g, &cfg.features).0).clone(),
@@ -208,6 +207,23 @@ fn prepare_query_impl(
         };
         crate::extraction::extract_substructures_budgeted(q, g, cfg, ctx, &budget)?
     };
+    Ok(prepared_from_extraction(q, cfg, &ex, truth))
+}
+
+/// Featurizes an [`Extraction`] into a [`PreparedQuery`] — the tail of
+/// query preparation, shared by the whole-graph pipeline above and the
+/// partitioned pipeline ([`crate::partition`]). The bipartite-edge RNG is
+/// (re)seeded here from `cfg.seed`; extraction consumes no randomness, so
+/// this matches the monolithic preparation bit for bit.
+pub(crate) fn prepared_from_extraction(
+    q: &Graph,
+    cfg: &NeurScConfig,
+    ex: &crate::extraction::Extraction,
+    truth: u64,
+) -> PreparedQuery {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e75_7263_7363_u64);
+    let x_q = init_features(q, &cfg.features);
+    let q_edges = EdgeList::from_graph(q);
     let mut report = ex.report.clone();
     let subs = {
         let _sp = Span::enter("extract.featurize");
@@ -225,7 +241,7 @@ fn prepare_query_impl(
         report.featurize_ns = t0.elapsed().as_nanos() as u64;
         subs
     };
-    Ok(PreparedQuery {
+    PreparedQuery {
         x_q,
         q_edges,
         subs,
@@ -233,7 +249,7 @@ fn prepare_query_impl(
         trivially_zero: ex.trivially_zero,
         degraded: ex.degraded,
         report,
-    })
+    }
 }
 
 /// Forward pass over all substructures of a prepared query on one tape.

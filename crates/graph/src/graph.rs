@@ -66,6 +66,90 @@ impl Graph {
         Ok(b.build())
     }
 
+    /// Reassembles a graph from raw CSR arrays — the fast decode path for
+    /// binary graph stores, which persist exactly these three arrays.
+    /// Skips the edge-list sort/dedup of [`GraphBuilder::build`] but
+    /// validates every invariant [`Graph::check_invariants`] checks
+    /// (monotone offsets, sorted strict adjacency, symmetry, no
+    /// self-loops, in-range ids), returning a typed error instead of
+    /// constructing a graph that would break read-path assumptions.
+    /// Structural violations are reported as [`GraphError::Parse`] with
+    /// `line` 0 (there is no text line to point at).
+    pub fn from_csr_parts(
+        labels: Vec<Label>,
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+    ) -> Result<Graph, GraphError> {
+        let n = labels.len();
+        let structural = |message: String| GraphError::Parse { line: 0, message };
+        if offsets.len() != n + 1 {
+            return Err(structural(format!(
+                "offsets array has {} entries, expected n + 1 = {}",
+                offsets.len(),
+                n + 1
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(structural(format!(
+                "offsets must start at 0, got {}",
+                offsets[0]
+            )));
+        }
+        if offsets[n] != neighbors.len() {
+            return Err(structural(format!(
+                "offsets end at {} but the adjacency array has {} entries",
+                offsets[n],
+                neighbors.len()
+            )));
+        }
+        if !neighbors.len().is_multiple_of(2) {
+            return Err(structural(format!(
+                "adjacency array length {} is odd (undirected edges store two entries)",
+                neighbors.len()
+            )));
+        }
+        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(structural(format!(
+                "offsets not monotone: {} before {}",
+                w[0], w[1]
+            )));
+        }
+        let row = |v: usize| &neighbors[offsets[v]..offsets[v + 1]];
+        for v in 0..n {
+            let ns = row(v);
+            if ns.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(structural(format!(
+                    "adjacency list of vertex {v} is unsorted or has duplicates"
+                )));
+            }
+            for &u in ns {
+                if u as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: u as u64,
+                        n_vertices: n,
+                    });
+                }
+                if u == v as VertexId {
+                    return Err(GraphError::SelfLoop(u));
+                }
+                if row(u as usize).binary_search(&(v as VertexId)).is_err() {
+                    return Err(structural(format!(
+                        "asymmetric adjacency: {v} lists {u} but not vice versa"
+                    )));
+                }
+            }
+        }
+        let n_labels = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let max_degree = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        Ok(Graph {
+            offsets,
+            neighbors,
+            labels,
+            n_labels,
+            max_degree,
+        })
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn n_vertices(&self) -> usize {
@@ -441,6 +525,46 @@ mod tests {
         let bigger =
             Graph::from_edges(5, &[0, 1, 1, 0, 0], &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
         assert_ne!(g.content_fingerprint(), bigger.content_fingerprint());
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_builder_output() {
+        let g = triangle_with_tail();
+        let labels = g.labels().to_vec();
+        let mut offsets = vec![0usize];
+        for v in g.vertices() {
+            offsets.push(offsets[v as usize] + g.degree(v));
+        }
+        let mut neighbors = Vec::new();
+        for v in g.vertices() {
+            neighbors.extend_from_slice(g.neighbors(v));
+        }
+        let g2 = Graph::from_csr_parts(labels, offsets, neighbors).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.max_degree(), g.max_degree());
+        assert_eq!(g2.n_labels(), g.n_labels());
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_structural_violations() {
+        // Asymmetric: 0 lists 1, 1 lists nothing.
+        let bad = Graph::from_csr_parts(vec![0, 0], vec![0, 1, 1], vec![1]);
+        assert!(matches!(bad, Err(GraphError::Parse { line: 0, .. })));
+        // Odd adjacency length.
+        let odd = Graph::from_csr_parts(vec![0], vec![0, 1], vec![0]);
+        assert!(odd.is_err());
+        // Out-of-range neighbor.
+        let oor = Graph::from_csr_parts(vec![0, 0], vec![0, 1, 2], vec![5, 0]);
+        assert!(matches!(
+            oor,
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        // Non-monotone offsets.
+        let mono = Graph::from_csr_parts(vec![0, 0], vec![0, 2, 1], vec![1]);
+        assert!(mono.is_err());
+        // Unsorted row.
+        let unsorted = Graph::from_csr_parts(vec![0, 0, 0], vec![0, 2, 3, 5], vec![2, 1, 0, 0, 1]);
+        assert!(unsorted.is_err());
     }
 
     #[test]

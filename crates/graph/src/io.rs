@@ -31,29 +31,44 @@ use crate::types::{Label, VertexId};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Parses a graph from `.graph`-format text.
-pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
-    let mut n_declared: Option<usize> = None;
-    let mut m_declared: Option<usize> = None;
-    let mut labels: Vec<Label> = Vec::new();
+/// Incremental `.graph` parser: lines are fed one at a time, so file loading
+/// can stream through a [`std::io::BufRead`] without ever holding the whole
+/// text in memory ([`parse_graph`] feeds it from an in-memory `&str`; both
+/// produce byte-identical results and errors).
+struct LineParser {
+    n_declared: Option<usize>,
+    m_declared: Option<usize>,
+    labels: Vec<Label>,
     // `(declared degree, defining line)` per vertex; the line also marks the
     // vertex as defined so duplicate `v` records can be rejected.
-    let mut declared_degrees: Vec<Option<usize>> = Vec::new();
-    let mut defined_at: Vec<Option<usize>> = Vec::new();
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    declared_degrees: Vec<Option<usize>>,
+    defined_at: Vec<Option<usize>>,
+    edges: Vec<(VertexId, VertexId)>,
     // Canonical `(min, max)` pair → defining line, for duplicate detection.
-    let mut edge_at: std::collections::HashMap<(VertexId, VertexId), usize> =
-        std::collections::HashMap::new();
+    edge_at: std::collections::HashMap<(VertexId, VertexId), usize>,
+}
 
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
+impl LineParser {
+    fn new() -> Self {
+        LineParser {
+            n_declared: None,
+            m_declared: None,
+            labels: Vec::new(),
+            declared_degrees: Vec::new(),
+            defined_at: Vec::new(),
+            edges: Vec::new(),
+            edge_at: std::collections::HashMap::new(),
+        }
+    }
+
+    fn feed(&mut self, line_no: usize, raw: &str) -> Result<(), GraphError> {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
-            continue;
+            return Ok(());
         }
         let mut tok = line.split_whitespace();
         let Some(kind) = tok.next() else {
-            continue; // unreachable: trimmed non-empty line has a token
+            return Ok(()); // unreachable: trimmed non-empty line has a token
         };
         let parse_num = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
             s.ok_or_else(|| GraphError::Parse {
@@ -69,23 +84,23 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
         match kind {
             "t" => {
                 let n = parse_num(tok.next(), "vertex count")? as usize;
-                n_declared = Some(n);
-                m_declared = Some(parse_num(tok.next(), "edge count")? as usize);
-                labels = vec![0; n];
-                declared_degrees = vec![None; n];
-                defined_at = vec![None; n];
+                self.n_declared = Some(n);
+                self.m_declared = Some(parse_num(tok.next(), "edge count")? as usize);
+                self.labels = vec![0; n];
+                self.declared_degrees = vec![None; n];
+                self.defined_at = vec![None; n];
             }
             "v" => {
                 let id = parse_num(tok.next(), "vertex id")? as usize;
                 let label = parse_num(tok.next(), "label")? as Label;
-                let n = labels.len();
+                let n = self.labels.len();
                 if id >= n {
                     return Err(GraphError::Parse {
                         line: line_no,
                         message: format!("vertex id {id} exceeds declared count {n}"),
                     });
                 }
-                if let Some(first) = defined_at[id] {
+                if let Some(first) = self.defined_at[id] {
                     return Err(GraphError::Parse {
                         line: line_no,
                         message: format!(
@@ -93,14 +108,14 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                         ),
                     });
                 }
-                defined_at[id] = Some(line_no);
-                labels[id] = label;
+                self.defined_at[id] = Some(line_no);
+                self.labels[id] = label;
                 if let Some(d) = tok.next() {
                     let d = d.parse::<usize>().map_err(|_| GraphError::Parse {
                         line: line_no,
                         message: "invalid degree".into(),
                     })?;
-                    declared_degrees[id] = Some(d);
+                    self.declared_degrees[id] = Some(d);
                 }
             }
             "e" => {
@@ -112,7 +127,7 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                         message: format!("self-loop 'e {u} {u}' (graphs are simple)"),
                     });
                 }
-                let n = labels.len();
+                let n = self.labels.len();
                 if (u as usize) >= n || (v as usize) >= n {
                     return Err(GraphError::Parse {
                         line: line_no,
@@ -122,7 +137,7 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                     });
                 }
                 let key = (u.min(v), u.max(v));
-                if let Some(first) = edge_at.insert(key, line_no) {
+                if let Some(first) = self.edge_at.insert(key, line_no) {
                     return Err(GraphError::Parse {
                         line: line_no,
                         message: format!(
@@ -130,7 +145,7 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                         ),
                     });
                 }
-                edges.push((u, v));
+                self.edges.push((u, v));
             }
             other => {
                 return Err(GraphError::Parse {
@@ -139,43 +154,55 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
                 });
             }
         }
+        Ok(())
     }
 
-    let n = n_declared.ok_or(GraphError::Parse {
-        line: 1,
-        message: "missing 't' header".into(),
-    })?;
-    let mut b = GraphBuilder::new(n);
-    for (i, &l) in labels.iter().enumerate() {
-        b.set_label(i as VertexId, l);
-    }
-    for (u, v) in edges {
-        b.add_edge(u, v)?;
-    }
-    let g = b.build();
-    if let Some(m) = m_declared {
-        if g.n_edges() != m {
-            return Err(GraphError::Parse {
-                line: 1,
-                message: format!("header declares {m} edges, found {}", g.n_edges()),
-            });
+    fn finish(self) -> Result<Graph, GraphError> {
+        let n = self.n_declared.ok_or(GraphError::Parse {
+            line: 1,
+            message: "missing 't' header".into(),
+        })?;
+        let mut b = GraphBuilder::new(n);
+        for (i, &l) in self.labels.iter().enumerate() {
+            b.set_label(i as VertexId, l);
         }
-    }
-    for (v, d) in declared_degrees.iter().enumerate() {
-        if let Some(d) = d {
-            if g.degree(v as VertexId) != *d {
+        for (u, v) in self.edges {
+            b.add_edge(u, v)?;
+        }
+        let g = b.build();
+        if let Some(m) = self.m_declared {
+            if g.n_edges() != m {
                 return Err(GraphError::Parse {
-                    // Report at the `v` record that made the claim.
-                    line: defined_at[v].unwrap_or(1),
-                    message: format!(
-                        "vertex {v} declares degree {d}, edge list gives {}",
-                        g.degree(v as VertexId)
-                    ),
+                    line: 1,
+                    message: format!("header declares {m} edges, found {}", g.n_edges()),
                 });
             }
         }
+        for (v, d) in self.declared_degrees.iter().enumerate() {
+            if let Some(d) = d {
+                if g.degree(v as VertexId) != *d {
+                    return Err(GraphError::Parse {
+                        // Report at the `v` record that made the claim.
+                        line: self.defined_at[v].unwrap_or(1),
+                        message: format!(
+                            "vertex {v} declares degree {d}, edge list gives {}",
+                            g.degree(v as VertexId)
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(g)
     }
-    Ok(g)
+}
+
+/// Parses a graph from `.graph`-format text.
+pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
+    let mut p = LineParser::new();
+    for (idx, raw) in text.lines().enumerate() {
+        p.feed(idx + 1, raw)?;
+    }
+    p.finish()
 }
 
 /// Serializes a graph to `.graph`-format text.
@@ -191,15 +218,19 @@ pub fn format_graph(g: &Graph) -> String {
     out
 }
 
-/// Loads a graph from a `.graph` file. I/O failures name the file.
+/// Loads a graph from a `.graph` file, streaming it line-by-line — peak
+/// memory is the parsed records, never the raw text plus the records. I/O
+/// failures name the file; parse failures keep their line numbers,
+/// byte-identical to [`parse_graph`] on the same content.
 pub fn load_graph(path: &Path) -> Result<Graph, GraphError> {
     let file = std::fs::File::open(path).map_err(|e| GraphError::io_at(path, e))?;
-    let mut reader = std::io::BufReader::new(file);
-    let mut text = String::new();
-    reader
-        .read_to_string(&mut text)
-        .map_err(|e| GraphError::io_at(path, e))?;
-    parse_graph(&text)
+    let reader = std::io::BufReader::new(file);
+    let mut p = LineParser::new();
+    for (idx, raw) in reader.lines().enumerate() {
+        let raw = raw.map_err(|e| GraphError::io_at(path, e))?;
+        p.feed(idx + 1, &raw)?;
+    }
+    p.finish()
 }
 
 /// Saves a graph to a `.graph` file. I/O failures name the file.
@@ -211,7 +242,7 @@ pub fn save_graph(g: &Graph, path: &Path) -> Result<(), GraphError> {
     Ok(())
 }
 
-use std::io::Read;
+use std::io::BufRead;
 
 #[cfg(test)]
 mod tests {
@@ -372,6 +403,25 @@ mod tests {
         let err = load_graph(&path).unwrap_err();
         assert!(matches!(err, GraphError::Io { path: Some(_), .. }));
         assert!(err.to_string().contains("neursc_io_no_such_file.graph"));
+    }
+
+    #[test]
+    fn streamed_load_reports_same_line_numbers_as_in_memory_parse() {
+        // The streaming loader must keep the typed, line-numbered errors of
+        // the in-memory parser — same line, same message.
+        let bad = "t 2 2\nv 0 0 2\nv 1 0 2\ne 0 1\ne 1 1\n";
+        let dir = std::env::temp_dir().join("neursc_graph_io_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.graph");
+        std::fs::write(&path, bad).unwrap();
+        let from_text = parse_graph(bad).unwrap_err();
+        let from_file = load_graph(&path).unwrap_err();
+        assert_eq!(from_text.to_string(), from_file.to_string());
+        match from_file {
+            GraphError::Parse { line, .. } => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -132,6 +132,49 @@ pub fn local_pruning_metered(
     Ok(CandidateSets { sets })
 }
 
+/// [`local_pruning_with`] restricted to the data vertices accepted by
+/// `keep` — the per-partition core filter of the out-of-core store's deep
+/// (radius ≥ 2) path. Admission predicate and per-set ascending-id ordering
+/// are identical to the unscoped pass, so concatenating the results of
+/// `keep`-disjoint scopes that cover ascending ranges of `V(G)` reproduces
+/// `local_pruning_with(q, g, r, g_profiles)` exactly. Work metering is the
+/// caller's responsibility (the store pre-charges the whole-graph cost).
+pub fn local_pruning_scoped(
+    q: &Graph,
+    g: &Graph,
+    r: u32,
+    g_profiles: &[crate::profile::Profile],
+    keep: &dyn Fn(VertexId) -> bool,
+) -> CandidateSets {
+    debug_assert_eq!(g_profiles.len(), g.n_vertices());
+    let q_profiles = all_profiles(q, r);
+    let n_labels = g.n_labels().max(q.n_labels());
+    let mut by_label: Vec<Vec<VertexId>> = vec![Vec::new(); n_labels];
+    for v in g.vertices() {
+        if keep(v) {
+            by_label[g.label(v) as usize].push(v);
+        }
+    }
+    let mut sets = Vec::with_capacity(q.n_vertices());
+    for u in q.vertices() {
+        let lu = q.label(u) as usize;
+        if lu >= by_label.len() {
+            sets.push(Vec::new());
+            continue;
+        }
+        let mut set = Vec::new();
+        for &v in &by_label[lu] {
+            if g.degree(v) >= q.degree(u)
+                && subsumes(&g_profiles[v as usize], &q_profiles[u as usize])
+            {
+                set.push(v);
+            }
+        }
+        sets.push(set);
+    }
+    CandidateSets { sets }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +245,23 @@ mod tests {
                 assert!(cs1.contains(u, v), "r=2 admitted ({u},{v}) that r=1 pruned");
             }
             assert!(cs2.get(u).len() <= cs1.get(u).len());
+        }
+    }
+
+    #[test]
+    fn scoped_pruning_over_disjoint_ranges_concatenates_to_unscoped() {
+        let q = paper_query_graph();
+        let g = paper_data_graph();
+        let profiles = all_profiles(&g, 1);
+        let whole = local_pruning(&q, &g, 1);
+        for split in 0..=g.n_vertices() as VertexId {
+            let lo = local_pruning_scoped(&q, &g, 1, &profiles, &|v| v < split);
+            let hi = local_pruning_scoped(&q, &g, 1, &profiles, &|v| v >= split);
+            for u in q.vertices() {
+                let mut cat = lo.get(u).to_vec();
+                cat.extend_from_slice(hi.get(u));
+                assert_eq!(cat, whole.get(u), "split at {split}, query vertex {u}");
+            }
         }
     }
 

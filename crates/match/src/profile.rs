@@ -29,12 +29,29 @@ pub fn all_profiles_r1(g: &Graph) -> Vec<Profile> {
     g.vertices()
         .map(|v| {
             let mut labels: Vec<Label> = Vec::with_capacity(g.degree(v) + 1);
-            labels.push(g.label(v));
-            labels.extend(g.neighbors(v).iter().map(|&u| g.label(u)));
-            labels.sort_unstable();
+            profile_r1_into(
+                g.label(v),
+                g.neighbors(v).iter().map(|&u| g.label(u)),
+                &mut labels,
+            );
             labels
         })
         .collect()
+}
+
+/// Fills `out` with the radius-1 profile of a vertex given its own label
+/// and its neighbors' labels — the row-streamed analogue of
+/// [`all_profiles_r1`], shared with the out-of-core store so the resident
+/// and streamed filtering paths use one profile definition.
+pub fn profile_r1_into(
+    own: Label,
+    neighbor_labels: impl IntoIterator<Item = Label>,
+    out: &mut Vec<Label>,
+) {
+    out.clear();
+    out.push(own);
+    out.extend(neighbor_labels);
+    out.sort_unstable();
 }
 
 /// Computes all radius-`r` profiles. `r = 1` uses the one-pass gather;

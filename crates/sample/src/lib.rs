@@ -65,6 +65,7 @@
 use neursc_core::estimator::{ConfidenceInterval, Estimator};
 use neursc_core::obs::{PipelineReport, Span};
 use neursc_core::parallel::parallel_map_indexed;
+use neursc_core::partition::PartitionBackend;
 use neursc_core::{
     EstimateDetail, GraphContext, NeurScConfig, NeurScError, Parallelism, ResourceBudget,
 };
@@ -278,12 +279,43 @@ impl Estimator for SampleEstimator {
             profile_cache_hit: cache_hit,
             ..PipelineReport::default()
         };
-        if fo.candidates.is_trivially_zero() {
+        self.sample_filtered(
+            q,
+            g,
+            fo.candidates,
+            fo.degraded,
+            fb,
+            fo.steps,
+            threads,
+            report,
+        )
+    }
+}
+
+impl SampleEstimator {
+    /// The post-filtering half of [`Estimator::estimate_component`]:
+    /// Horvitz–Thompson sampling from already-filtered candidate sets
+    /// against whatever graph they are expressed in (the data graph on the
+    /// monolithic path, a working set on the partitioned path — identical
+    /// estimates either way, since walks only read candidate rows).
+    #[allow(clippy::too_many_arguments)]
+    fn sample_filtered(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        candidates: CandidateSets,
+        filter_degraded: bool,
+        fb: FilterBudget,
+        filter_steps: u64,
+        threads: usize,
+        report: PipelineReport,
+    ) -> Result<EstimateDetail, NeurScError> {
+        if candidates.is_trivially_zero() {
             return Ok(EstimateDetail {
                 count: 0.0,
                 n_substructures: 0,
                 trivially_zero: true,
-                degraded: fo.degraded,
+                degraded: filter_degraded,
                 ci: Some(ConfidenceInterval {
                     low: 0.0,
                     high: 0.0,
@@ -296,9 +328,9 @@ impl Estimator for SampleEstimator {
         // Leftover filtering budget caps the trial count: one step per
         // query vertex per trial (a trial touches at most |V(q)| pools).
         let mut trials = self.config.trials.max(1);
-        let mut degraded = fo.degraded;
+        let mut degraded = filter_degraded;
         if fb.max_steps != u64::MAX {
-            let remaining = fb.max_steps.saturating_sub(fo.steps);
+            let remaining = fb.max_steps.saturating_sub(filter_steps);
             let per_trial = (q.n_vertices() as u64).max(1);
             let affordable = (remaining / per_trial).min(usize::MAX as u64) as usize;
             if affordable < trials {
@@ -311,12 +343,12 @@ impl Estimator for SampleEstimator {
                 detail: format!(
                     "sampling budget exhausted: 0 of {} trials affordable after \
                      filtering spent {} steps",
-                    self.config.trials, fo.steps
+                    self.config.trials, filter_steps
                 ),
             });
         }
 
-        let order = build_order(q, &fo.candidates);
+        let order = build_order(q, &candidates);
         let _sp = Span::enter("sample.walks");
         let n_chunks = trials.div_ceil(CHUNK);
         // Chunk seeds depend only on (config seed, chunk index); chunk
@@ -333,7 +365,7 @@ impl Estimator for SampleEstimator {
             let mut mapped = Vec::with_capacity(order.order.len());
             let mut pool = Vec::new();
             for _ in lo..hi {
-                let w = self.one_walk(g, &fo.candidates, &order, &mut rng, &mut mapped, &mut pool);
+                let w = self.one_walk(g, &candidates, &order, &mut rng, &mut mapped, &mut pool);
                 sum += w;
                 sum_sq += w * w;
             }
@@ -363,6 +395,34 @@ impl Estimator for SampleEstimator {
             }),
             report,
         })
+    }
+}
+
+impl PartitionBackend for SampleEstimator {
+    fn filter_config(&self) -> FilterConfig {
+        self.config.filter
+    }
+
+    fn default_filter_budget(&self) -> FilterBudget {
+        self.config.budget.filter_budget()
+    }
+
+    fn estimate_filtered(
+        &self,
+        q: &Graph,
+        working: &Graph,
+        candidates: CandidateSets,
+        degraded: bool,
+        budget: FilterBudget,
+        steps: u64,
+        threads: usize,
+        _sub_lanes: bool,
+        report: PipelineReport,
+        _ctx: &GraphContext,
+    ) -> Result<EstimateDetail, NeurScError> {
+        self.sample_filtered(
+            q, working, candidates, degraded, budget, steps, threads, report,
+        )
     }
 }
 

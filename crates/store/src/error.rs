@@ -1,0 +1,107 @@
+//! Typed failures of the binary graph store.
+//!
+//! Mirrors the failure taxonomy of the model-persistence layer (DESIGN.md,
+//! "Failure semantics"): plain I/O problems are [`StoreError::Io`]; any
+//! integrity violation — bad magic, version skew, length mismatch, checksum
+//! mismatch, structurally invalid CSR content — is [`StoreError::Corrupt`],
+//! raised at open time *before* any adjacency is handed out, so a damaged
+//! store can never silently feed wrong neighborhoods into the pipeline.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Any failure surfaced by packing or opening a binary graph store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Store-file I/O failed (missing file, permissions, short write).
+    Io {
+        /// The store file involved, when known (in-memory stores have none).
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The store failed an integrity check — truncated, bit-flipped,
+    /// version-skewed or structurally invalid. Raised before any adjacency
+    /// is served.
+    Corrupt {
+        /// The store file involved, when known.
+        path: Option<PathBuf>,
+        /// What the integrity check saw.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// An I/O error tagged with the file it happened on.
+    pub fn io_at(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+
+    /// A corruption error tagged with the file it was detected in.
+    pub fn corrupt(path: Option<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether this is an integrity (corruption) failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                path: Some(p),
+                source,
+            } => write!(f, "graph store i/o error on {}: {source}", p.display()),
+            StoreError::Io { path: None, source } => {
+                write!(f, "graph store i/o error: {source}")
+            }
+            StoreError::Corrupt {
+                path: Some(p),
+                detail,
+            } => write!(f, "corrupt graph store {}: {detail}", p.display()),
+            StoreError::Corrupt { path: None, detail } => {
+                write!(f, "corrupt graph store: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file() {
+        let e = StoreError::io_at("/tmp/g.nscs", std::io::Error::other("gone"));
+        assert!(e.to_string().contains("g.nscs"));
+        let c = StoreError::corrupt(Some("/tmp/g.nscs".into()), "checksum mismatch");
+        assert!(c.to_string().contains("checksum mismatch"));
+        assert!(c.is_corruption() && !e.is_corruption());
+    }
+
+    #[test]
+    fn io_error_chains_its_source() {
+        use std::error::Error as _;
+        let e = StoreError::io_at("/x", std::io::Error::other("root"));
+        assert!(e.source().is_some());
+        assert!(StoreError::corrupt(None, "x").source().is_none());
+    }
+}

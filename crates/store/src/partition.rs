@@ -1,0 +1,145 @@
+//! Deterministic contiguous edge-cut partitioning of a stored graph.
+//!
+//! Cores are contiguous vertex ranges chosen so each carries roughly the
+//! same number of adjacency entries (edge-balanced, not vertex-balanced —
+//! filtering cost is dominated by row scans). Contiguity matters twice:
+//! per-set candidate order is preserved when per-partition results are
+//! concatenated in partition order, and a streamed [`crate::GraphStore`]
+//! reads each core as one forward pass over consecutive chunks.
+
+use std::ops::Range;
+
+use neursc_graph::types::VertexId;
+
+use crate::store::GraphStore;
+
+/// A deterministic split of `0..n` into contiguous cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// `k + 1` boundaries; core `i` is `bounds[i]..bounds[i+1]`.
+    bounds: Vec<VertexId>,
+}
+
+impl PartitionPlan {
+    /// Splits the store's vertex range into `k` contiguous, edge-balanced
+    /// cores. `k` is clamped to at least 1; cores may be empty when `k`
+    /// exceeds the vertex count. The plan depends only on the degree index,
+    /// so it is identical across resident and streamed opens of the same
+    /// image.
+    pub fn contiguous(store: &GraphStore, k: usize) -> PartitionPlan {
+        let k = k.max(1);
+        let n = store.n_vertices() as VertexId;
+        let total = 2 * store.n_edges() as u64;
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0);
+        for i in 1..k {
+            let target = total * i as u64 / k as u64;
+            // First vertex whose cumulative degree reaches the target.
+            let mut lo = *bounds.last().unwrap_or(&0);
+            let mut hi = n;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if store.cumulative_degree(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push(lo);
+        }
+        bounds.push(n);
+        PartitionPlan { bounds }
+    }
+
+    /// Number of cores.
+    pub fn n_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The vertex range of core `i`.
+    pub fn core(&self, i: usize) -> Range<VertexId> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// All cores in order.
+    pub fn cores(&self) -> impl Iterator<Item = Range<VertexId>> + '_ {
+        (0..self.n_partitions()).map(|i| self.core(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::encode_graph;
+    use crate::store::AccessMode;
+    use neursc_graph::Graph;
+
+    fn star_plus_path() -> Graph {
+        // Vertex 0 is a hub (degree 6); 7..12 a path — uneven degrees.
+        let labels = vec![0u32; 13];
+        let mut edges: Vec<(u32, u32)> = (1..7).map(|v| (0, v)).collect();
+        edges.extend((7..12).map(|v| (v, v + 1)));
+        edges.push((6, 7));
+        Graph::from_edges(13, &labels, &edges).unwrap()
+    }
+
+    fn open(g: &Graph) -> GraphStore {
+        GraphStore::open_bytes(encode_graph(g), AccessMode::Resident).unwrap()
+    }
+
+    #[test]
+    fn cores_partition_the_vertex_range() {
+        let store = open(&star_plus_path());
+        for k in [1usize, 2, 3, 4, 7, 13, 20] {
+            let plan = PartitionPlan::contiguous(&store, k);
+            assert_eq!(plan.n_partitions(), k);
+            let mut next = 0u32;
+            for core in plan.cores() {
+                assert_eq!(core.start, next, "k={k}");
+                assert!(core.end >= core.start);
+                next = core.end;
+            }
+            assert_eq!(next, store.n_vertices() as u32, "k={k}");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_mode_independent() {
+        let g = star_plus_path();
+        let resident = open(&g);
+        let streamed = GraphStore::open_bytes(
+            encode_graph(&g),
+            AccessMode::Streamed {
+                chunk_edges: 4,
+                max_chunks: 2,
+            },
+        )
+        .unwrap();
+        for k in 1..6 {
+            assert_eq!(
+                PartitionPlan::contiguous(&resident, k),
+                PartitionPlan::contiguous(&streamed, k)
+            );
+        }
+    }
+
+    #[test]
+    fn split_boundary_is_edge_balanced() {
+        let store = open(&star_plus_path());
+        let plan = PartitionPlan::contiguous(&store, 2);
+        // Cumulative degrees: 0,6,7,…,11,13,… — half of the 24 adjacency
+        // entries is reached at vertex 7, so the boundary lands there.
+        assert_eq!(plan.core(0), 0..7);
+        assert_eq!(plan.core(1), 7..13);
+        let half = store.cumulative_degree(7);
+        assert!(half >= 12 && 24 - half <= 12);
+    }
+
+    #[test]
+    fn zero_partitions_clamps_to_one() {
+        let store = open(&star_plus_path());
+        let plan = PartitionPlan::contiguous(&store, 0);
+        assert_eq!(plan.n_partitions(), 1);
+        assert_eq!(plan.core(0), 0..13);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based acceptance of the `NSCS` graph-store format, mirroring
+//! the warm-state snapshot suite (`crates/serve/tests/snapshot_roundtrip.rs`):
+//! pack → open → materialize is the identity, and every corruption —
+//! truncation at any byte, any single bit flip — fails with a typed
+//! [`neursc_store::StoreError::Corrupt`] **at open**, before any adjacency
+//! is handed out, in both resident and streamed modes, for in-memory
+//! images and for store files on disk.
+
+use neursc_graph::Graph;
+use neursc_store::{encode_graph, AccessMode, GraphStore};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..24).prop_flat_map(|n| {
+        (vec(0u32..4, n), vec((0..n as u32, 0..n as u32), 0..40)).prop_map(
+            move |(labels, pairs)| {
+                let edges: Vec<(u32, u32)> = pairs
+                    .into_iter()
+                    .filter(|&(a, b)| a != b)
+                    .map(|(a, b)| (a.min(b), a.max(b)))
+                    .collect();
+                Graph::from_edges(n, &labels, &edges).expect("arbitrary graph is valid")
+            },
+        )
+    })
+}
+
+fn modes() -> [AccessMode; 2] {
+    [
+        AccessMode::Resident,
+        AccessMode::Streamed {
+            chunk_edges: 8,
+            max_chunks: 2,
+        },
+    ]
+}
+
+/// Writes `bytes` to a unique temp file and returns its path.
+fn temp_store(bytes: &[u8], tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neursc_store_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{tag}.nscs"));
+    std::fs::write(&path, bytes).expect("write temp store");
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// pack → open (either mode) → materialize reproduces the graph.
+    #[test]
+    fn pack_open_materialize_is_identity(g in arb_graph()) {
+        let bytes = encode_graph(&g);
+        for mode in modes() {
+            let store = match GraphStore::open_bytes(bytes.clone(), mode) {
+                Ok(s) => s,
+                Err(e) => return Err(TestCaseError(format!("open of fresh image failed: {e}"))),
+            };
+            let back = match store.to_graph() {
+                Ok(b) => b,
+                Err(e) => return Err(TestCaseError(format!("materialize failed: {e}"))),
+            };
+            prop_assert!(back == g, "materialized graph differs");
+        }
+    }
+
+    /// Truncation at any byte is a typed corruption at open, both modes.
+    #[test]
+    fn truncation_at_any_byte_is_typed_corruption(g in arb_graph(), frac in 0.0f64..1.0) {
+        let bytes = encode_graph(&g);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let cut = cut.min(bytes.len() - 1);
+        for mode in modes() {
+            match GraphStore::open_bytes(bytes[..cut].to_vec(), mode) {
+                Err(e) => prop_assert!(e.is_corruption(), "cut at {}: {}", cut, e),
+                Ok(_) => return Err(TestCaseError(format!("accepted store truncated to {cut} bytes"))),
+            }
+        }
+    }
+
+    /// Any single bit flip — magic, version, checksum field, counts,
+    /// labels, offsets or adjacency — is a typed corruption at open.
+    #[test]
+    fn any_single_bitflip_is_typed_corruption(g in arb_graph(), pos in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = encode_graph(&g);
+        let i = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[i] ^= 1 << bit;
+        for mode in modes() {
+            match GraphStore::open_bytes(bytes.clone(), mode) {
+                Err(e) => prop_assert!(e.is_corruption(), "byte {} bit {}: {}", i, bit, e),
+                Ok(_) => return Err(TestCaseError(format!("accepted store with bit {bit} of byte {i} flipped"))),
+            }
+        }
+    }
+
+    /// The on-disk path behaves identically: a damaged file fails at open
+    /// (and names the file in the error), before any adjacency is served.
+    #[test]
+    fn damaged_file_fails_at_open(g in arb_graph(), frac in 0.0f64..1.0, bit in 0u8..8, truncate in any::<bool>()) {
+        let mut bytes = encode_graph(&g);
+        let tag = if truncate {
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            let cut = cut.min(bytes.len() - 1);
+            bytes.truncate(cut);
+            format!("trunc_{cut}")
+        } else {
+            let i = (((bytes.len() - 1) as f64) * frac) as usize;
+            bytes[i] ^= 1 << bit;
+            format!("flip_{i}_{bit}")
+        };
+        let path = temp_store(&bytes, &tag);
+        for mode in modes() {
+            match GraphStore::open(&path, mode) {
+                Err(e) => {
+                    prop_assert!(e.is_corruption(), "{tag}: {e}");
+                    prop_assert!(e.to_string().contains(&tag), "error does not name the file: {e}");
+                }
+                Ok(_) => {
+                    std::fs::remove_file(&path).ok();
+                    return Err(TestCaseError(format!("accepted damaged store file ({tag})")));
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

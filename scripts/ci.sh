@@ -14,12 +14,12 @@ echo "== cargo clippy (no unwrap/expect in library code) =="
 # Library code on input-dependent paths must return typed errors, never
 # panic (DESIGN.md, "Failure semantics"). Tests/benches/bins are exempt.
 cargo clippy -p neursc-graph -p neursc-match -p neursc-core -p neursc-serve \
-    -p neursc-sample -p neursc-oracle --lib -- \
+    -p neursc-sample -p neursc-oracle -p neursc-store --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 OUR_CRATES=(-p neursc -p neursc-graph -p neursc-match -p neursc-nn -p neursc-gnn
             -p neursc-core -p neursc-baselines -p neursc-workloads -p neursc-bench
-            -p neursc-serve -p neursc-sample -p neursc-oracle)
+            -p neursc-serve -p neursc-sample -p neursc-oracle -p neursc-store)
 
 echo "== cargo doc (deny warnings, our crates only) =="
 # Vendored stand-ins (vendor/*) are API-subset stubs and are not held to
@@ -50,6 +50,12 @@ cargo run --release -q -p neursc-bench --bin obs_overhead
 
 echo "== backend comparison bench (WEst vs sampling + router hit rates) =="
 cargo run --release -q -p neursc-bench --bin bench_backends
+
+echo "== out-of-core store bench (streamed peak RSS < 50% of resident) =="
+# Packs a 10^6-vertex graph and runs a partitioned estimate resident vs
+# streamed; the binary itself asserts the memory budget and that the two
+# estimates are bit-identical (DESIGN.md §14).
+cargo run --release -q -p neursc-bench --bin bench_store
 
 echo "== differential soundness oracle soak (DESIGN.md §11) =="
 # Fixed seed: deterministic in CI; the corpus replay test (tests/

@@ -316,3 +316,79 @@ fn cli_generate_dataset_preset() {
     assert_eq!(g.n_vertices(), 3112);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn cli_graph_pack_info_round_trip_and_corruption() {
+    let dir = std::env::temp_dir().join("neursc_cli_store_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.graph");
+    let store = dir.join("data.nscs");
+
+    run_ok({
+        let mut c = cli();
+        c.args([
+            "generate",
+            "--vertices",
+            "200",
+            "--degree",
+            "6",
+            "--labels",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+        ])
+        .arg(&data);
+        c
+    });
+
+    // pack: text → binary store
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["graph", "pack", "--data"])
+            .arg(&data)
+            .args(["--out"])
+            .arg(&store);
+        c
+    });
+    assert!(out.contains("|V|=200"), "stdout: {out}");
+    assert!(store.exists());
+
+    // info: verifies the checksum and reports the header
+    let out = run_ok({
+        let mut c = cli();
+        c.args(["graph", "info", "--store"]).arg(&store);
+        c
+    });
+    assert!(out.contains("checksum verified"), "stdout: {out}");
+    assert!(out.contains("vertices 200"), "stdout: {out}");
+
+    // the packed image round-trips to an identical graph
+    let g = neursc::graph::io::load_graph(&data).unwrap();
+    let opened =
+        neursc::store::GraphStore::open(&store, neursc::store::AccessMode::Resident).unwrap();
+    assert_eq!(opened.to_graph().unwrap(), g);
+
+    // a flipped byte is detected: exit 5, typed corruption message
+    let mut bytes = std::fs::read(&store).unwrap();
+    bytes[100] ^= 0x40;
+    std::fs::write(&store, &bytes).unwrap();
+    let (code, stderr) = run_err({
+        let mut c = cli();
+        c.args(["graph", "info", "--store"]).arg(&store);
+        c
+    });
+    assert_eq!(code, 5, "stderr: {stderr}");
+    assert!(stderr.contains("corrupt"), "stderr: {stderr}");
+
+    // a bare `graph` verb is a usage error
+    let (code, _) = run_err({
+        let mut c = cli();
+        c.arg("graph");
+        c
+    });
+    assert_eq!(code, 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
